@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Section 6.1 cross-scheme log-size comparison: our from-scratch FDR,
+ * Basic RTR and Strata recorders (run on the SC interleaving of the
+ * same workloads) against DeLorean's OrderOnly and PicoLog logs.
+ *
+ * Paper reference points: Basic RTR ~1 B (8 bits) per processor per
+ * kilo-instruction compressed; 2000-inst OrderOnly is 16% of RTR (and
+ * 7.5% with stratification); PicoLog is 0.6% of RTR; vs Strata's
+ * published 2.2 KB per million memory ops (4 procs), DeLorean needs
+ * 364 B (OrderOnly) and 13.7 B (PicoLog) per processor per million
+ * memory operations.
+ */
+
+#include "baselines/fdr.hpp"
+#include "baselines/multi_sink.hpp"
+#include "baselines/rtr.hpp"
+#include "baselines/strata.hpp"
+#include "bench_util.hpp"
+#include "compress/lz77.hpp"
+
+using namespace delorean;
+using namespace delorean_bench;
+
+int
+main()
+{
+    header("Baseline log sizes: FDR / Basic RTR / Strata vs DeLorean",
+           "RTR ~8 bits/proc/kinst; OrderOnly 16% of RTR (7.5% "
+           "stratified); PicoLog 0.6%; Strata 2.2KB/M-memops@4p vs "
+           "DeLorean 364B (OO) / 13.7B (Pico) per proc per M memops");
+
+    const unsigned scale = benchScale(15);
+    const MachineConfig machine;
+    const Lz77 codec;
+
+    std::printf("%-10s | %8s %8s %8s | %8s %8s %8s  "
+                "(compressed bits/proc/kilo-inst)\n",
+                "app", "FDR", "RTR", "Strata", "OO", "strOO", "Pico");
+
+    std::vector<double> g_fdr, g_rtr, g_strata, g_oo, g_soo, g_pico;
+    std::vector<double> oo_bytes_per_mops, pico_bytes_per_mops;
+
+    for (const auto &app : AppTable::allNames()) {
+        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
+
+        // Conventional recorders observe the SC machine's access order.
+        FdrRecorder fdr(machine.numProcs);
+        RtrRecorder rtr(machine.numProcs);
+        StrataRecorder strata(machine.numProcs, /*record_war=*/false);
+        MultiSink sinks;
+        sinks.add(&fdr);
+        sinks.add(&rtr);
+        sinks.add(&strata);
+        InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
+        const InterleavedResult sc = sc_exec.run(w, 1, &sinks);
+        rtr.finalize();
+
+        const double kinst =
+            static_cast<double>(sc.totalInstrs) / 1000.0;
+        const double fdr_bits =
+            static_cast<double>(codec.compressedBits(fdr.packedBytes()))
+            / kinst;
+        const double rtr_bits = static_cast<double>(codec.compressedBits(
+                                    rtr.vectorPackedBytes()))
+                                / kinst;
+        const double strata_bits =
+            static_cast<double>(
+                codec.compressedBits(strata.packedBytes()))
+            / kinst;
+
+        auto delorean_bits = [&](ModeConfig mode, double *bytes_mops) {
+            Recorder recorder(mode, machine);
+            const Recording rec = recorder.record(w, 1);
+            const LogSizeReport sizes = rec.logSizes();
+            const double bits_per_kinst =
+                sizes.bitsPerProcPerKiloInstr(true);
+            if (bytes_mops) {
+                // bits/proc/kilo-inst -> bytes/proc/M memory ops,
+                // using the profile's memory-op density.
+                const double memop_ratio =
+                    w.profile().memOpPerMille / 1000.0;
+                *bytes_mops = bits_per_kinst * 125.0 / memop_ratio;
+            }
+            return bits_per_kinst;
+        };
+
+        ModeConfig strat = ModeConfig::orderOnly();
+        strat.stratifyChunksPerProc = 1;
+
+        double oo_mops = 0, pico_mops = 0;
+        const double oo = delorean_bits(ModeConfig::orderOnly(),
+                                        &oo_mops);
+        const double soo = delorean_bits(strat, nullptr);
+        const double pico = delorean_bits(ModeConfig::picoLog(),
+                                          &pico_mops);
+
+        std::printf("%-10s | %8.2f %8.2f %8.2f | %8.3f %8.3f %8.4f\n",
+                    app.c_str(), fdr_bits, rtr_bits, strata_bits, oo,
+                    soo, pico);
+
+        g_fdr.push_back(fdr_bits);
+        g_rtr.push_back(rtr_bits);
+        g_strata.push_back(strata_bits);
+        g_oo.push_back(oo);
+        g_soo.push_back(soo);
+        g_pico.push_back(pico + 1e-6);
+        oo_bytes_per_mops.push_back(oo_mops);
+        pico_bytes_per_mops.push_back(pico_mops);
+    }
+
+    const double fdr_m = geoMean(g_fdr), rtr_m = geoMean(g_rtr);
+    const double oo_m = geoMean(g_oo), soo_m = geoMean(g_soo);
+    const double pico_m = geoMean(g_pico);
+    std::printf("\ngeomeans: FDR %.2f, RTR %.2f, Strata %.2f, "
+                "OO %.3f, strOO %.3f, Pico %.4f\n",
+                fdr_m, rtr_m, geoMean(g_strata), oo_m, soo_m, pico_m);
+    std::printf("OO/RTR = %.1f%% (paper 16%%), strOO/RTR = %.1f%% "
+                "(paper 7.5%%), Pico/RTR = %.2f%% (paper 0.6%%)\n",
+                100 * oo_m / rtr_m, 100 * soo_m / rtr_m,
+                100 * pico_m / rtr_m);
+    std::printf("bytes per proc per M memops: OO %.0f (paper 364), "
+                "Pico %.1f (paper 13.7)\n",
+                geoMean(oo_bytes_per_mops),
+                geoMean(pico_bytes_per_mops));
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every bench prints the paper's expected values next to our measured
+ * ones. Absolute cycle counts are not expected to match (the substrate
+ * is a from-scratch simulator, see DESIGN.md); the *shape* — who wins,
+ * by roughly what factor, where crossovers fall — is the target.
+ *
+ * Run length scales with the DELOREAN_SCALE environment variable
+ * (percent of each application's nominal iteration count).
+ */
+
+#ifndef DELOREAN_BENCH_BENCH_UTIL_HPP_
+#define DELOREAN_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/delorean.hpp"
+
+namespace delorean_bench
+{
+
+/** Workload seed shared by all harnesses (arbitrary, fixed). */
+constexpr std::uint64_t kSeed = 20080621; // ISCA 2008
+
+/** Scale (percent) for bench runs; override with DELOREAN_SCALE. */
+inline unsigned
+benchScale(unsigned default_percent)
+{
+    if (const char *env = std::getenv("DELOREAN_SCALE"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return default_percent;
+}
+
+/** Short display label (matches the paper's figure captions). */
+inline std::string
+appLabel(const std::string &name)
+{
+    return name;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title, const std::string &paper_note)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+    std::printf("paper: %s\n\n", paper_note.c_str());
+}
+
+/** Geometric mean helper re-exported for harnesses. */
+inline double
+geoMean(const std::vector<double> &v)
+{
+    return delorean::geometricMean(v);
+}
+
+} // namespace delorean_bench
+
+#endif // DELOREAN_BENCH_BENCH_UTIL_HPP_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: performance during initial execution, normalized to RC,
+ * for RC, BulkSC (chunked, no logging), Order&Size, OrderOnly,
+ * Stratified OrderOnly (1 chunk/proc/stratum), PicoLog and SC.
+ *
+ * Paper reference points (averages): Order&Size and OrderOnly within
+ * 2-3% of RC (logging overhead negligible; part of the gap is plain
+ * BulkSC squashes); Stratified OrderOnly ~= OrderOnly; PicoLog 0.86x
+ * RC; SC 0.79x RC; every DeLorean mode outperforms SC.
+ */
+
+#include "bench_util.hpp"
+
+using namespace delorean;
+using namespace delorean_bench;
+
+int
+main()
+{
+    header("Figure 10: initial-execution speedup normalized to RC",
+           "O&S/OrderOnly ~0.97-0.98; Stratified ~= OrderOnly; "
+           "PicoLog 0.86; SC 0.79");
+
+    const unsigned scale = benchScale(35);
+    const MachineConfig machine;
+
+    std::printf("%-10s %6s %6s %6s %6s %6s %6s\n", "app", "BulkSC",
+                "O&S", "OO", "strOO", "Pico", "SC");
+
+    std::vector<std::vector<double>> sp2(6);
+
+    auto run_app = [&](const std::string &app, bool is_sp2) {
+        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
+
+        InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
+        InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
+        const double rc = static_cast<double>(rc_exec.run(w, 1).cycles);
+        const double sc = static_cast<double>(sc_exec.run(w, 1).cycles);
+
+        auto chunked = [&](const ModeConfig &mode, bool logging) {
+            Recorder recorder(mode, machine);
+            const Recording rec = recorder.record(w, 1, logging);
+            return static_cast<double>(rec.stats.totalCycles);
+        };
+
+        ModeConfig strat = ModeConfig::orderOnly();
+        strat.stratifyChunksPerProc = 1;
+
+        const double bulks = chunked(ModeConfig::orderOnly(), false);
+        const double oands = chunked(ModeConfig::orderAndSize(), true);
+        const double oo = chunked(ModeConfig::orderOnly(), true);
+        const double soo = chunked(strat, true);
+        const double pico = chunked(ModeConfig::picoLog(), true);
+
+        const double row[6] = {rc / bulks, rc / oands, rc / oo,
+                               rc / soo,   rc / pico,  rc / sc};
+        std::printf("%-10s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+                    app.c_str(), row[0], row[1], row[2], row[3], row[4],
+                    row[5]);
+        if (is_sp2)
+            for (int i = 0; i < 6; ++i)
+                sp2[static_cast<std::size_t>(i)].push_back(row[i]);
+    };
+
+    for (const auto &app : AppTable::splash2Names())
+        run_app(app, true);
+    run_app("sjbb2k", false);
+    run_app("sweb2005", false);
+
+    std::printf("%-10s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+                "SP2-G.M.", geoMean(sp2[0]), geoMean(sp2[1]),
+                geoMean(sp2[2]), geoMean(sp2[3]), geoMean(sp2[4]),
+                geoMean(sp2[5]));
+    std::printf("paper avg:   ~1.0   0.97   0.98   0.97   0.86   0.79\n");
+    return 0;
+}

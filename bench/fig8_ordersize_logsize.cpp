@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 8: size of the PI and CS logs in Order&Size mode, in bits per
+ * processor per kilo-instruction, for maximum chunk sizes of
+ * 1000/2000/3000, with and without compression.
+ *
+ * Paper reference points: Order&Size needs larger PI and CS logs than
+ * OrderOnly — sometimes comparable to Basic RTR; the preferred
+ * 2000-instruction compressed configuration averages 3.7 bits per
+ * processor per kilo-instruction (46% of Basic RTR's ~8).
+ */
+
+#include "bench_util.hpp"
+
+using namespace delorean;
+using namespace delorean_bench;
+
+int
+main()
+{
+    header("Figure 8: PI+CS log size in Order&Size (bits/proc/kilo-inst)",
+           "preferred 2000-inst compressed config avg 3.7 "
+           "(46% of Basic RTR)");
+
+    const unsigned scale = benchScale(30);
+    const MachineConfig machine;
+    const std::vector<InstrCount> chunk_sizes{1000, 2000, 3000};
+
+    std::printf("%-10s %6s | %9s %9s %9s %9s | %9s\n", "app", "max",
+                "PI raw", "CS raw", "PI comp", "CS comp", "total comp");
+
+    std::vector<double> preferred_totals;
+
+    for (const auto &app : AppTable::allNames()) {
+        for (const InstrCount cs : chunk_sizes) {
+            ModeConfig mode = ModeConfig::orderAndSize();
+            mode.chunkSize = cs;
+            Workload w(app, machine.numProcs, kSeed,
+                       WorkloadScale{scale});
+            Recorder recorder(mode, machine);
+            const Recording rec = recorder.record(w, 1);
+            const LogSizeReport sizes = rec.logSizes();
+            std::printf("%-10s %6llu | %9.3f %9.3f %9.3f %9.3f | %9.3f\n",
+                        app.c_str(), static_cast<unsigned long long>(cs),
+                        sizes.piBitsPerProcPerKiloInstr(false),
+                        sizes.csBitsPerProcPerKiloInstr(false),
+                        sizes.piBitsPerProcPerKiloInstr(true),
+                        sizes.csBitsPerProcPerKiloInstr(true),
+                        sizes.bitsPerProcPerKiloInstr(true));
+            if (cs == 2000)
+                preferred_totals.push_back(
+                    sizes.bitsPerProcPerKiloInstr(true));
+        }
+    }
+
+    double mean = 0;
+    for (const double t : preferred_totals)
+        mean += t;
+    mean /= static_cast<double>(preferred_totals.size());
+    std::printf("\npreferred 2000-inst config: mean %.2f compressed "
+                "bits/proc/kilo-inst (paper: 3.7; RTR ref ~8)\n",
+                mean);
+    return 0;
+}

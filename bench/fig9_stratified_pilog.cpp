@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 9: size of the PI log in 2000-instruction OrderOnly without
+ * and with stratification, for 1, 3 and 7 committed chunks per
+ * processor per stratum, normalized to the non-stratified design.
+ *
+ * Paper reference points: 1 chunk/proc/stratum cuts the PI log by an
+ * average of 54% (total OrderOnly log ~0.6 bits/proc/kilo-inst, 7.5%
+ * of Basic RTR); 7 chunks/proc/stratum wastes space and can *grow*
+ * the log (SPECweb2005).
+ */
+
+#include "bench_util.hpp"
+
+using namespace delorean;
+using namespace delorean_bench;
+
+int
+main()
+{
+    header("Figure 9: stratified PI log size, normalized to OrderOnly",
+           "1 chunk/stratum: PI log -54% avg => ~0.6 bits total "
+           "(7.5% of RTR); 7 chunks/stratum can waste space");
+
+    const unsigned scale = benchScale(30);
+    const MachineConfig machine;
+    const std::vector<unsigned> strat_configs{1, 3, 7};
+
+    std::printf("%-10s | %10s | %8s %8s %8s  (normalized comp PI)\n",
+                "app", "base comp", "s=1", "s=3", "s=7");
+
+    std::vector<double> norm_s1, total_s1;
+
+    for (const auto &app : AppTable::allNames()) {
+        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
+
+        ModeConfig base = ModeConfig::orderOnly();
+        Recorder base_rec(base, machine);
+        const Recording rec0 = base_rec.record(w, 1);
+        const LogSizeReport s0 = rec0.logSizes();
+        const double base_pi = s0.piBitsPerProcPerKiloInstr(true);
+
+        std::printf("%-10s | %10.3f |", app.c_str(), base_pi);
+        for (const unsigned chunks : strat_configs) {
+            ModeConfig mode = ModeConfig::orderOnly();
+            mode.stratifyChunksPerProc = chunks;
+            Recorder recorder(mode, machine);
+            const Recording rec = recorder.record(w, 1);
+            const LogSizeReport s = rec.logSizes();
+            const double pi = s.piBitsPerProcPerKiloInstr(true);
+            const double norm = base_pi > 0 ? pi / base_pi : 0.0;
+            std::printf(" %8.3f", norm);
+            if (chunks == 1) {
+                norm_s1.push_back(norm);
+                total_s1.push_back(s.bitsPerProcPerKiloInstr(true));
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n1 chunk/proc/stratum: mean normalized PI %.2f "
+                "(paper: 0.46, i.e. -54%%); mean total log %.2f "
+                "bits/proc/kilo-inst (paper: ~0.6)\n",
+                geoMean(norm_s1), geoMean(total_s1));
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): signature operations
+ * at several widths, LZ77 throughput, bit-packing, and log appends.
+ * Also reports signature false-conflict rates across widths, backing
+ * the Table 5 choice of 2 Kbit signatures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+#include "compress/lz77.hpp"
+#include "core/cs_log.hpp"
+#include "core/pi_log.hpp"
+#include "signature/signature.hpp"
+
+namespace
+{
+
+using namespace delorean;
+
+template <unsigned Bits>
+void
+BM_SignatureInsert(benchmark::State &state)
+{
+    Xoshiro256ss rng(1);
+    SignatureT<Bits> sig;
+    for (auto _ : state) {
+        sig.insert(rng.next() >> 6);
+        benchmark::DoNotOptimize(sig);
+    }
+}
+BENCHMARK(BM_SignatureInsert<512>);
+BENCHMARK(BM_SignatureInsert<1024>);
+BENCHMARK(BM_SignatureInsert<2048>);
+
+template <unsigned Bits>
+void
+BM_SignatureIntersect(benchmark::State &state)
+{
+    Xoshiro256ss rng(2);
+    SignatureT<Bits> a, b;
+    for (int i = 0; i < 64; ++i) {
+        a.insert(rng.next() >> 6);
+        b.insert(rng.next() >> 6);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.intersects(b));
+}
+BENCHMARK(BM_SignatureIntersect<512>);
+BENCHMARK(BM_SignatureIntersect<2048>);
+
+/** False-conflict rate of disjoint local chunks, per width. */
+template <unsigned Bits>
+void
+BM_SignatureFalseConflict(benchmark::State &state)
+{
+    Xoshiro256ss rng(3);
+    std::uint64_t conflicts = 0, trials = 0;
+    for (auto _ : state) {
+        SignatureT<Bits> a, b;
+        const Addr base_a = 0x100000 + (rng.next() & 0xFFF0);
+        const Addr base_b = 0x900000 + (rng.next() & 0xFFF0);
+        for (Addr k = 0; k < 128; ++k) {
+            a.insert(base_a + k);
+            b.insert(base_b + k);
+        }
+        conflicts += a.intersects(b);
+        ++trials;
+    }
+    state.counters["false_conflict_rate"] =
+        static_cast<double>(conflicts) / static_cast<double>(trials);
+}
+BENCHMARK(BM_SignatureFalseConflict<512>);
+BENCHMARK(BM_SignatureFalseConflict<1024>);
+BENCHMARK(BM_SignatureFalseConflict<2048>);
+
+void
+BM_Lz77Compress(benchmark::State &state)
+{
+    Xoshiro256ss rng(4);
+    std::vector<std::uint8_t> input(static_cast<std::size_t>(state.range(0)));
+    for (auto &b : input)
+        b = rng.chancePerMille(700)
+                ? static_cast<std::uint8_t>(rng.below(8))
+                : static_cast<std::uint8_t>(rng.next());
+    const Lz77 codec;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.compressedBits(input));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Lz77Compress)->Arg(4096)->Arg(65536);
+
+void
+BM_BitWriterPack(benchmark::State &state)
+{
+    Xoshiro256ss rng(5);
+    for (auto _ : state) {
+        BitWriter w;
+        for (int i = 0; i < 1000; ++i)
+            w.write(rng.next() & 0xF, 4);
+        benchmark::DoNotOptimize(w.bitCount());
+    }
+}
+BENCHMARK(BM_BitWriterPack);
+
+void
+BM_PiLogAppend(benchmark::State &state)
+{
+    Xoshiro256ss rng(6);
+    for (auto _ : state) {
+        PiLog log(8);
+        for (int i = 0; i < 1000; ++i)
+            log.append(static_cast<ProcId>(rng.below(8)));
+        benchmark::DoNotOptimize(log.sizeBits());
+    }
+}
+BENCHMARK(BM_PiLogAppend);
+
+void
+BM_CsLogPack(benchmark::State &state)
+{
+    ModeConfig mode = ModeConfig::orderOnly();
+    CsLog log(mode);
+    for (ChunkSeq s = 0; s < 500; ++s)
+        log.appendTruncation(s * 7, 100 + s % 900);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(log.packedBytes());
+}
+BENCHMARK(BM_CsLogPack);
+
+} // namespace
+
+BENCHMARK_MAIN();

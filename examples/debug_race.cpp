@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Concurrency-debugging scenario — the paper's motivating use case.
+ *
+ * A bug that only manifests under a particular interleaving is
+ * useless to chase with a normal debugger: every run interleaves
+ * differently. With DeLorean, the production run is recorded once;
+ * afterwards the developer can re-execute it as many times as needed
+ * — under arbitrary timing — and always observe the *same*
+ * interleaving, down to the lock hand-off order.
+ *
+ * This example records a lock-heavy workload, extracts the global
+ * commit interleaving around the most contended period, and then
+ * replays five times with aggressive timing perturbation, verifying
+ * that every replay reproduces the identical interleaving.
+ */
+
+#include <cstdio>
+
+#include "core/delorean.hpp"
+
+using namespace delorean;
+
+int
+main()
+{
+    MachineConfig machine;
+    Workload workload("raytrace", machine.numProcs, /*seed=*/5150,
+                      WorkloadScale{30});
+
+    std::printf("recording one production run of %s (%u procs)...\n",
+                workload.name().c_str(), machine.numProcs);
+    Recorder recorder(ModeConfig::orderOnly(), machine);
+    const Recording rec = recorder.record(workload, /*env_seed=*/1);
+    std::printf("  %llu instructions, %llu chunk commits, %llu squashes\n",
+                static_cast<unsigned long long>(rec.stats.retiredInstrs),
+                static_cast<unsigned long long>(rec.stats.committedChunks),
+                static_cast<unsigned long long>(rec.stats.squashes));
+
+    // "The bug manifested around commit #100" — inspect the recorded
+    // interleaving there. This window will be byte-identical in every
+    // replay.
+    std::printf("\ncommit interleaving around the suspect window:\n  ");
+    const std::size_t lo = 100;
+    for (std::size_t i = lo; i < lo + 24 && i < rec.pi.entryCount(); ++i)
+        std::printf("P%u ", rec.pi.entryAt(i));
+    std::printf("...\n");
+
+    std::printf("\nreplaying 5 times with random timing perturbation:\n");
+    Replayer replayer;
+    bool all_ok = true;
+    for (unsigned run = 1; run <= 5; ++run) {
+        ReplayPerturbation perturb;
+        perturb.enabled = true;
+        perturb.seed = run * 1000;
+        perturb.hitMissSwapPerMille = 50;
+        const ReplayOutcome out =
+            replayer.replay(rec, workload, /*env=*/run * 7, perturb);
+        std::printf("  run %u: %llu cycles, interleaving %s\n", run,
+                    static_cast<unsigned long long>(out.stats.totalCycles),
+                    out.deterministicExact ? "IDENTICAL" : "DIVERGED!");
+        all_ok = all_ok && out.deterministicExact;
+    }
+
+    std::printf("\n%s\n",
+                all_ok ? "every replay reproduced the recorded "
+                         "interleaving bit-for-bit."
+                       : "BUG: replay diverged.");
+    return all_ok ? 0 : 1;
+}

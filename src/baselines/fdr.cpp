@@ -1,0 +1,102 @@
+#include "baselines/fdr.hpp"
+
+#include <algorithm>
+
+#include "common/bitstream.hpp"
+
+namespace delorean
+{
+
+FdrRecorder::FdrRecorder(unsigned num_procs)
+    : num_procs_(num_procs),
+      vc_(num_procs, std::vector<InstrCount>(num_procs, 0))
+{
+}
+
+void
+FdrRecorder::dependence(ProcId src, InstrCount src_instr, ProcId dst,
+                        InstrCount dst_instr,
+                        const std::vector<InstrCount> *src_vc)
+{
+    if (src == dst)
+        return;
+    ++observed_;
+    std::vector<InstrCount> &dvc = vc_[dst];
+    if (dvc[src] >= src_instr)
+        return; // transitively implied
+
+    log(RaceEntry{src, src_instr, dst, dst_instr});
+    dvc[src] = std::max(dvc[src], src_instr);
+    if (src_vc) {
+        // Replay orders dst behind everything the source had seen.
+        for (ProcId q = 0; q < num_procs_; ++q)
+            dvc[q] = std::max(dvc[q], (*src_vc)[q]);
+    }
+}
+
+void
+FdrRecorder::onAccess(const AccessRecord &rec)
+{
+    LineState &ls = lines_[rec.line];
+    if (ls.readerInstr.empty()) {
+        ls.readerInstr.assign(num_procs_, 0);
+        ls.readSinceWrite.assign(num_procs_, false);
+        ls.writerVc.assign(num_procs_, 0);
+    }
+
+    // RAW / WAW from the last writer.
+    const bool has_writer = ls.writer != kDmaProcId;
+    if (has_writer && ls.writer != rec.proc) {
+        dependence(ls.writer, ls.writerInstr, rec.proc, rec.instrIndex,
+                   &ls.writerVc);
+    }
+
+    if (rec.isWrite) {
+        // WAR from readers since the previous write.
+        for (ProcId q = 0; q < num_procs_; ++q) {
+            if (q != rec.proc && ls.readSinceWrite[q])
+                dependence(q, ls.readerInstr[q], rec.proc, rec.instrIndex,
+                           nullptr);
+        }
+        ls.writer = rec.proc;
+        ls.writerInstr = rec.instrIndex;
+        ls.writerVc = vc_[rec.proc];
+        ls.writerVc[rec.proc] = rec.instrIndex;
+        std::fill(ls.readSinceWrite.begin(), ls.readSinceWrite.end(),
+                  false);
+    }
+    if (rec.isRead) {
+        ls.readerInstr[rec.proc] = rec.instrIndex;
+        ls.readSinceWrite[rec.proc] = true;
+    }
+}
+
+std::uint64_t
+FdrRecorder::sizeBits() const
+{
+    // Two (procID, 32-bit instruction count) pairs per entry.
+    const unsigned proc_bits = 4;
+    return static_cast<std::uint64_t>(entries_.size())
+           * 2 * (proc_bits + 32);
+}
+
+std::vector<std::uint8_t>
+FdrRecorder::packedBytes() const
+{
+    BitWriter writer;
+    std::vector<InstrCount> last_src(num_procs_, 0);
+    std::vector<InstrCount> last_dst(num_procs_, 0);
+    for (const auto &e : entries_) {
+        writer.write(e.srcProc, 4);
+        writer.write(e.dstProc, 4);
+        // Delta-encode instruction counts per processor (FDR compresses
+        // its log; deltas make LZ77 effective).
+        writer.write(e.srcInstr - last_src[e.srcProc], 32);
+        writer.write(e.dstInstr - last_dst[e.dstProc], 32);
+        last_src[e.srcProc] = e.srcInstr;
+        last_dst[e.dstProc] = e.dstInstr;
+    }
+    return writer.bytes();
+}
+
+} // namespace delorean

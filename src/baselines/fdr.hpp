@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FDR-style memory-race recorder (Xu, Bodik, Hill — ISCA'03).
+ *
+ * Observes the global access order of an SC machine and logs
+ * cross-processor dependences into a Memory Races Log, applying a
+ * hardware-style Netzer transitive reduction: each processor keeps a
+ * vector of the last source instruction counts it has (transitively)
+ * ordered behind, and a dependence already implied by that vector is
+ * not logged. Write sources additionally piggyback the writer's
+ * vector snapshot (stored per line), which captures most of the
+ * transitivity of Figure 1(a); read-source (WAR) dependences are
+ * reduced pairwise only. This is conservative: it may log slightly
+ * more than an optimal Netzer reduction but never less.
+ *
+ * Used by bench/baseline_logsize and the Figure 6-8 reference lines.
+ */
+
+#ifndef DELOREAN_BASELINES_FDR_HPP_
+#define DELOREAN_BASELINES_FDR_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/access_order.hpp"
+
+namespace delorean
+{
+
+/** One logged race: source instruction happens-before destination. */
+struct RaceEntry
+{
+    ProcId srcProc = 0;
+    InstrCount srcInstr = 0;
+    ProcId dstProc = 0;
+    InstrCount dstInstr = 0;
+};
+
+/** FDR Memory Races Log builder. */
+class FdrRecorder : public AccessSink
+{
+  public:
+    explicit FdrRecorder(unsigned num_procs);
+
+    void onAccess(const AccessRecord &record) override;
+
+    const std::vector<RaceEntry> &entries() const { return entries_; }
+
+    /** Raw log size: two (procID, instr-count) pairs per entry. */
+    std::uint64_t sizeBits() const;
+
+    /** Delta-encoded packed image, for LZ77 measurement. */
+    std::vector<std::uint8_t> packedBytes() const;
+
+    /** Dependences observed before reduction (for tests/stats). */
+    std::uint64_t observedDependences() const { return observed_; }
+
+  protected:
+    struct LineState
+    {
+        ProcId writer = kDmaProcId; ///< none yet
+        InstrCount writerInstr = 0;
+        std::vector<InstrCount> writerVc; ///< writer's VC snapshot
+        std::vector<InstrCount> readerInstr; ///< last read per proc
+        std::vector<bool> readSinceWrite;
+    };
+
+    /**
+     * Process the dependence (src,src_instr) -> (dst,dst_instr); logs
+     * it unless the destination's vector already implies it.
+     * @param src_vc optional source vector snapshot to merge
+     */
+    void dependence(ProcId src, InstrCount src_instr, ProcId dst,
+                    InstrCount dst_instr,
+                    const std::vector<InstrCount> *src_vc);
+
+    /** Hook for subclasses (RTR) to customize the logged entry. */
+    virtual void
+    log(const RaceEntry &entry)
+    {
+        entries_.push_back(entry);
+    }
+
+    unsigned numProcs() const { return num_procs_; }
+
+    unsigned num_procs_;
+    std::unordered_map<Addr, LineState> lines_;
+    std::vector<std::vector<InstrCount>> vc_; ///< per-proc vector clock
+    std::vector<RaceEntry> entries_;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASELINES_FDR_HPP_

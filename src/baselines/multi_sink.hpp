@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fan-out AccessSink: feeds one SC access stream to several baseline
+ * recorders in a single executor pass.
+ */
+
+#ifndef DELOREAN_BASELINES_MULTI_SINK_HPP_
+#define DELOREAN_BASELINES_MULTI_SINK_HPP_
+
+#include <vector>
+
+#include "sim/access_order.hpp"
+
+namespace delorean
+{
+
+/** Broadcasts each access to every registered sink. */
+class MultiSink : public AccessSink
+{
+  public:
+    void add(AccessSink *sink) { sinks_.push_back(sink); }
+
+    void
+    onAccess(const AccessRecord &record) override
+    {
+        for (AccessSink *s : sinks_)
+            s->onAccess(record);
+    }
+
+  private:
+    std::vector<AccessSink *> sinks_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASELINES_MULTI_SINK_HPP_

@@ -1,0 +1,107 @@
+#include "baselines/rtr.hpp"
+
+#include "common/bitstream.hpp"
+
+namespace delorean
+{
+
+RtrRecorder::RtrRecorder(unsigned num_procs)
+    : FdrRecorder(num_procs), last_instr_(num_procs, 0)
+{
+}
+
+void
+RtrRecorder::onAccess(const AccessRecord &record)
+{
+    last_instr_[record.proc] = record.instrIndex;
+    FdrRecorder::onAccess(record);
+}
+
+void
+RtrRecorder::log(const RaceEntry &entry)
+{
+    // Regulation: replace the source with the strictest sound
+    // artificial dependence — the source processor's most recent
+    // instruction, which in the observed global order has already
+    // completed before the destination access.
+    RaceEntry reg = entry;
+    reg.srcInstr = std::max(reg.srcInstr, lastInstr(entry.srcProc));
+    vc_[reg.dstProc][reg.srcProc] =
+        std::max(vc_[reg.dstProc][reg.srcProc], reg.srcInstr);
+    entries_.push_back(reg); // keep the raw stream too (tests/stats)
+
+    // Vectorization: extend a run of recurring dependences between the
+    // same processor pair with constant strides.
+    if (open_run_) {
+        VectorEntry &run = vectors_.back();
+        if (run.srcProc == reg.srcProc && run.dstProc == reg.dstProc) {
+            const std::int64_t sstride =
+                static_cast<std::int64_t>(reg.srcInstr)
+                - static_cast<std::int64_t>(last_raw_.srcInstr);
+            const std::int64_t dstride =
+                static_cast<std::int64_t>(reg.dstInstr)
+                - static_cast<std::int64_t>(last_raw_.dstInstr);
+            if (run.count == 1) {
+                run.srcStride = sstride;
+                run.dstStride = dstride;
+                ++run.count;
+                last_raw_ = reg;
+                return;
+            }
+            if (run.srcStride == sstride && run.dstStride == dstride
+                && run.count < 0xFFFF) {
+                ++run.count;
+                last_raw_ = reg;
+                return;
+            }
+        }
+    }
+    VectorEntry fresh;
+    fresh.srcProc = reg.srcProc;
+    fresh.dstProc = reg.dstProc;
+    fresh.srcStart = reg.srcInstr;
+    fresh.dstStart = reg.dstInstr;
+    vectors_.push_back(fresh);
+    open_run_ = true;
+    last_raw_ = reg;
+}
+
+void
+RtrRecorder::finalize()
+{
+    open_run_ = false;
+}
+
+std::uint64_t
+RtrRecorder::vectorSizeBits() const
+{
+    std::uint64_t bits = 0;
+    for (const auto &v : vectors_)
+        bits += (v.count == 1) ? (2 * (4 + 32)) : (8 + 64 + 32 + 16);
+    return bits;
+}
+
+std::vector<std::uint8_t>
+RtrRecorder::vectorPackedBytes() const
+{
+    BitWriter writer;
+    std::vector<InstrCount> last_src(num_procs_, 0);
+    std::vector<InstrCount> last_dst(num_procs_, 0);
+    for (const auto &v : vectors_) {
+        writer.write(v.srcProc, 4);
+        writer.write(v.dstProc, 4);
+        writer.write(v.srcStart - last_src[v.srcProc], 32);
+        writer.write(v.dstStart - last_dst[v.dstProc], 32);
+        writer.write(v.count > 1 ? 1 : 0, 1);
+        if (v.count > 1) {
+            writer.write(static_cast<std::uint64_t>(v.srcStride), 16);
+            writer.write(static_cast<std::uint64_t>(v.dstStride), 16);
+            writer.write(v.count, 16);
+        }
+        last_src[v.srcProc] = v.srcStart;
+        last_dst[v.dstProc] = v.dstStart;
+    }
+    return writer.bytes();
+}
+
+} // namespace delorean

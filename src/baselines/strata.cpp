@@ -1,0 +1,86 @@
+#include "baselines/strata.hpp"
+
+#include "common/bitstream.hpp"
+
+namespace delorean
+{
+
+StrataRecorder::StrataRecorder(unsigned num_procs, bool record_war)
+    : num_procs_(num_procs),
+      record_war_(record_war),
+      memops_(num_procs, 0),
+      last_cut_(num_procs, 0)
+{
+}
+
+void
+StrataRecorder::refresh(LineState &ls)
+{
+    if (ls.epoch != epoch_) {
+        ls.epoch = epoch_;
+        ls.readers = 0;
+        ls.writers = 0;
+    }
+}
+
+void
+StrataRecorder::cutStratum()
+{
+    std::vector<std::uint32_t> counts(num_procs_);
+    for (ProcId p = 0; p < num_procs_; ++p) {
+        counts[p] = static_cast<std::uint32_t>(memops_[p] - last_cut_[p]);
+        last_cut_[p] = memops_[p];
+    }
+    strata_.push_back(std::move(counts));
+    ++epoch_; // invalidates every line's in-stratum masks
+}
+
+void
+StrataRecorder::onAccess(const AccessRecord &rec)
+{
+    LineState &ls = lines_[rec.line];
+    refresh(ls);
+
+    const std::uint32_t self = 1u << rec.proc;
+    const std::uint32_t others_w = ls.writers & ~self;
+    const std::uint32_t others_r = ls.readers & ~self;
+
+    bool needs_stratum = false;
+    if (rec.isRead && others_w)
+        needs_stratum = true; // RAW within the current region
+    if (rec.isWrite) {
+        if (others_w)
+            needs_stratum = true; // WAW
+        if (record_war_ && others_r)
+            needs_stratum = true; // WAR (optional)
+    }
+
+    if (needs_stratum) {
+        cutStratum();
+        refresh(ls);
+    }
+
+    if (rec.isRead)
+        ls.readers |= self;
+    if (rec.isWrite)
+        ls.writers |= self;
+    ++memops_[rec.proc];
+}
+
+std::uint64_t
+StrataRecorder::sizeBits() const
+{
+    return static_cast<std::uint64_t>(strata_.size()) * num_procs_ * 20;
+}
+
+std::vector<std::uint8_t>
+StrataRecorder::packedBytes() const
+{
+    BitWriter writer;
+    for (const auto &counts : strata_)
+        for (const auto c : counts)
+            writer.write(c, 20);
+    return writer.bytes();
+}
+
+} // namespace delorean

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Strata recorder (Narayanasamy, Pereira, Calder — ASPLOS'06).
+ *
+ * Instead of logging individual dependences, Strata logs *strata*:
+ * each log entry is a vector with one counter per processor giving the
+ * number of memory operations that processor issued since the last
+ * stratum. A stratum is logged immediately before the second access of
+ * an inter-processor dependence is issued (Figure 1(c)); dependences
+ * whose two references already fall in different stratum regions need
+ * no new stratum. WAR dependences can optionally be ignored, trading
+ * log size for multiple re-executions at replay time.
+ */
+
+#ifndef DELOREAN_BASELINES_STRATA_HPP_
+#define DELOREAN_BASELINES_STRATA_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/access_order.hpp"
+
+namespace delorean
+{
+
+/** Strata log builder over the global SC access order. */
+class StrataRecorder : public AccessSink
+{
+  public:
+    /**
+     * @param num_procs processor count (stratum vector width)
+     * @param record_war false drops WAR dependences from the log
+     */
+    StrataRecorder(unsigned num_procs, bool record_war);
+
+    void onAccess(const AccessRecord &record) override;
+
+    /** Number of strata logged. */
+    std::size_t strataCount() const { return strata_.size(); }
+
+    /**
+     * Raw size: one memory-op counter per processor per stratum; the
+     * counters are 20-bit deltas (ample for the evaluated runs).
+     */
+    std::uint64_t sizeBits() const;
+
+    /** Packed image for LZ77 measurement. */
+    std::vector<std::uint8_t> packedBytes() const;
+
+  private:
+    struct LineState
+    {
+        std::uint64_t epoch = 0; ///< stratum epoch of the masks below
+        std::uint32_t readers = 0;
+        std::uint32_t writers = 0;
+    };
+
+    /** Masks are stale if recorded before the current stratum. */
+    void refresh(LineState &ls);
+
+    void cutStratum();
+
+    unsigned num_procs_;
+    bool record_war_;
+    std::uint64_t epoch_ = 1;
+    std::vector<InstrCount> memops_; ///< per-proc memop counts (total)
+    std::vector<InstrCount> last_cut_; ///< memop counts at last stratum
+    std::unordered_map<Addr, LineState> lines_;
+    std::vector<std::vector<std::uint32_t>> strata_; ///< delta vectors
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASELINES_STRATA_HPP_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Chunk: a block of consecutive dynamic instructions executed
+ * atomically and in isolation (Section 3.1 / Appendix A).
+ *
+ * A chunk buffers its stores privately (version management is lazy),
+ * accumulates Read/Write signatures for disambiguation, and snapshots
+ * the thread context at its start so a squash is a plain restore.
+ */
+
+#ifndef DELOREAN_CHUNK_CHUNK_HPP_
+#define DELOREAN_CHUNK_CHUNK_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "signature/signature.hpp"
+#include "trace/thread_context.hpp"
+
+namespace delorean
+{
+
+/** Why a chunk ended before / at its target size. */
+enum class ChunkEnd : std::uint8_t
+{
+    kSizeLimit,     ///< reached the standard chunk size (deterministic)
+    kHardInstr,     ///< uncached access / special instr (deterministic)
+    kProgramEnd,    ///< thread finished (deterministic)
+    kCacheOverflow, ///< speculative-line overflow (NON-deterministic)
+    kCollision,     ///< repeated-collision back-off (NON-deterministic)
+    kCsLogForced,   ///< replay: truncated because the CS log says so
+};
+
+/** True for the truncation causes that must be logged (Section 4.2.3). */
+constexpr bool
+isNonDeterministicEnd(ChunkEnd end)
+{
+    return end == ChunkEnd::kCacheOverflow || end == ChunkEnd::kCollision;
+}
+
+/** Lifecycle of an in-flight chunk. */
+enum class ChunkState : std::uint8_t
+{
+    kExecuting,  ///< completion event scheduled
+    kCompleted,  ///< finished, commit request in flight / queued
+    kCommitting, ///< arbiter granted; propagation in progress
+};
+
+/** One speculative chunk. */
+struct Chunk
+{
+    ProcId proc = 0;
+    ChunkSeq seq = 0; ///< processor-local commit sequence number
+
+    /// Context snapshot at chunk start (restored on squash).
+    ThreadContext startCtx;
+    /// Context at chunk end; becomes architectural at commit.
+    ThreadContext endCtx;
+
+    /// Buffered speculative stores, in program order, word granular.
+    std::vector<std::pair<Addr, std::uint64_t>> writes;
+    /// Last buffered value per word, for same-chunk load forwarding.
+    std::unordered_map<Addr, std::uint64_t> writeMap;
+
+    SignaturePair sigs;
+
+    InstrCount size = 0;       ///< dynamic instructions in the chunk
+    InstrCount targetSize = 0; ///< size limit this execution aimed for
+    ChunkEnd endReason = ChunkEnd::kSizeLimit;
+
+    /// Values consumed by the chunk's I/O loads, in order; appended to
+    /// the I/O log when the chunk commits.
+    std::vector<std::uint64_t> ioValues;
+
+    ChunkState state = ChunkState::kExecuting;
+    Cycle startTime = 0;
+    Cycle finishTime = 0;
+    unsigned squashCount = 0; ///< times this chunk has been squashed
+
+    /// Lines written (for spec-line tracking release on squash/commit).
+    std::vector<Addr> writtenLines;
+
+    /** Fingerprint contribution of the committed chunk. */
+    std::uint64_t
+    contentHash() const
+    {
+        std::uint64_t h = endCtx.acc;
+        h = mix64(h ^ size);
+        h = mix64(h ^ (static_cast<std::uint64_t>(proc) << 48 ^ seq));
+        return h;
+    }
+
+    /** Forward a same-chunk buffered store, if any. */
+    bool
+    forward(Addr word_addr, std::uint64_t &value) const
+    {
+        const auto it = writeMap.find(word_addr);
+        if (it == writeMap.end())
+            return false;
+        value = it->second;
+        return true;
+    }
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CHUNK_CHUNK_HPP_

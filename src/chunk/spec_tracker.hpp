@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-processor speculative-line tracker.
+ *
+ * Speculatively written lines must stay in the L1 until their chunk
+ * commits. When a chunk is about to write a line in a set whose ways
+ * are already filled by speculative lines (of *any* in-flight chunk of
+ * the processor — several chunks share the L1), the write cannot be
+ * accommodated and the chunk must be truncated (Section 4.2.3). The
+ * truncation point is genuinely non-deterministic because the number
+ * of in-flight chunks at any moment is timing-dependent.
+ */
+
+#ifndef DELOREAN_CHUNK_SPEC_TRACKER_HPP_
+#define DELOREAN_CHUNK_SPEC_TRACKER_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** Tracks speculative (written, uncommitted) lines in one L1. */
+class SpecTracker
+{
+  public:
+    /**
+     * @param num_sets L1 set count
+     * @param ways L1 associativity (max spec lines per set)
+     */
+    SpecTracker(unsigned num_sets, unsigned ways)
+        : num_sets_(num_sets), ways_(ways), set_counts_(num_sets, 0)
+    {
+    }
+
+    /**
+     * True if adding line @p line (not already speculative) would
+     * overflow its set.
+     */
+    bool
+    wouldOverflow(Addr line) const
+    {
+        if (lines_.count(line))
+            return false; // already tracked; no new way needed
+        return set_counts_[setOf(line)] >= ways_;
+    }
+
+    /** Register a speculative write to @p line (refcounted). */
+    void
+    insert(Addr line)
+    {
+        if (++lines_[line] == 1)
+            ++set_counts_[setOf(line)];
+    }
+
+    /** Release one reference to @p line (chunk commit or squash). */
+    void
+    remove(Addr line)
+    {
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            return;
+        if (--it->second == 0) {
+            --set_counts_[setOf(line)];
+            lines_.erase(it);
+        }
+    }
+
+    /** Release all of a chunk's lines. */
+    void
+    removeAll(const std::vector<Addr> &chunk_lines)
+    {
+        for (const Addr line : chunk_lines)
+            remove(line);
+    }
+
+    /** Current number of distinct speculative lines. */
+    std::size_t distinctLines() const { return lines_.size(); }
+
+    /** Speculative lines currently in @p set. */
+    unsigned setCount(unsigned set) const { return set_counts_[set]; }
+
+  private:
+    unsigned setOf(Addr line) const { return line & (num_sets_ - 1); }
+
+    unsigned num_sets_;
+    unsigned ways_;
+    std::vector<unsigned> set_counts_;
+    std::unordered_map<Addr, unsigned> lines_; // line -> refcount
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CHUNK_SPEC_TRACKER_HPP_

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-granular packed stream writer/reader.
+ *
+ * DeLorean's logs use odd entry widths (4-bit processor IDs, 21-bit
+ * chunk distances, 1-or-12-bit variable size fields...). BitWriter and
+ * BitReader pack/unpack little-endian bit streams so the measured log
+ * sizes correspond exactly to the entry formats of Table 5.
+ */
+
+#ifndef DELOREAN_COMMON_BITSTREAM_HPP_
+#define DELOREAN_COMMON_BITSTREAM_HPP_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace delorean
+{
+
+/** Append-only bit stream. Bits are packed LSB-first within bytes. */
+class BitWriter
+{
+  public:
+    /** Append the low @p width bits of @p value (width in [0, 64]). */
+    void
+    write(std::uint64_t value, unsigned width)
+    {
+        assert(width <= 64);
+        for (unsigned i = 0; i < width; ++i) {
+            const unsigned byte = bits_ / 8;
+            const unsigned off = bits_ % 8;
+            if (byte >= bytes_.size())
+                bytes_.push_back(0);
+            if ((value >> i) & 1u)
+                bytes_[byte] |= static_cast<std::uint8_t>(1u << off);
+            ++bits_;
+        }
+    }
+
+    /** Total number of bits written so far. */
+    std::uint64_t bitCount() const { return bits_; }
+
+    /** Backing bytes (last byte may be partially used). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+    void
+    clear()
+    {
+        bytes_.clear();
+        bits_ = 0;
+    }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t bits_ = 0;
+};
+
+/** Sequential reader over a BitWriter's output. */
+class BitReader
+{
+  public:
+    BitReader(const std::vector<std::uint8_t> &bytes, std::uint64_t bits)
+        : bytes_(&bytes), bits_(bits)
+    {
+    }
+
+    explicit BitReader(const BitWriter &writer)
+        : BitReader(writer.bytes(), writer.bitCount())
+    {
+    }
+
+    /** Read the next @p width bits; asserts on overrun. */
+    std::uint64_t
+    read(unsigned width)
+    {
+        assert(width <= 64);
+        assert(pos_ + width <= bits_);
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            const unsigned byte = pos_ / 8;
+            const unsigned off = pos_ % 8;
+            if (((*bytes_)[byte] >> off) & 1u)
+                value |= (1ull << i);
+            ++pos_;
+        }
+        return value;
+    }
+
+    /** Bits remaining to be read. */
+    std::uint64_t remaining() const { return bits_ - pos_; }
+
+    bool atEnd() const { return pos_ == bits_; }
+
+  private:
+    const std::vector<std::uint8_t> *bytes_;
+    std::uint64_t bits_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_COMMON_BITSTREAM_HPP_

@@ -1,0 +1,20 @@
+#include "common/config.hpp"
+
+namespace delorean
+{
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::kOrderAndSize:
+        return "Order&Size";
+      case ExecMode::kOrderOnly:
+        return "OrderOnly";
+      case ExecMode::kPicoLog:
+        return "PicoLog";
+    }
+    return "unknown";
+}
+
+} // namespace delorean

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every DeLorean module.
+ */
+
+#ifndef DELOREAN_COMMON_TYPES_HPP_
+#define DELOREAN_COMMON_TYPES_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace delorean
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time in processor cycles. */
+using Cycle = std::uint64_t;
+
+/** Processor identifier. The DMA engine uses kDmaProcId. */
+using ProcId = std::uint32_t;
+
+/** Sequence number of a chunk local to one processor (0-based). */
+using ChunkSeq = std::uint64_t;
+
+/** Number of dynamic instructions. */
+using InstrCount = std::uint64_t;
+
+/** Pseudo processor ID used by the DMA engine when requesting commits. */
+constexpr ProcId kDmaProcId = 0xFFFFu;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Cache line size in bytes (Table 5: 32 B lines). */
+constexpr unsigned kLineBytes = 32;
+
+/** log2 of the cache line size. */
+constexpr unsigned kLineShift = 5;
+
+/** Word size in bytes; all simulated accesses are word granular. */
+constexpr unsigned kWordBytes = 8;
+
+/** Convert a byte address to its cache-line address. */
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Convert a byte address to its word address. */
+constexpr Addr
+wordOf(Addr addr)
+{
+    return addr / kWordBytes;
+}
+
+} // namespace delorean
+
+#endif // DELOREAN_COMMON_TYPES_HPP_

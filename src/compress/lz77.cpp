@@ -1,0 +1,139 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitstream.hpp"
+
+namespace delorean
+{
+
+namespace
+{
+
+/** Hash of the next three bytes, for the match-finder chains. */
+inline std::uint32_t
+hash3(const std::uint8_t *p)
+{
+    const std::uint32_t v = p[0] | (p[1] << 8) | (p[2] << 16);
+    return (v * 2654435761u) >> 17; // 15-bit hash
+}
+
+constexpr unsigned kHashSize = 1u << 15;
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+/**
+ * Shared greedy LZ77 tokenizer. Calls @p emit_literal / @p emit_match
+ * for every token, in order.
+ */
+template <typename LitFn, typename MatchFn>
+void
+tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
+         LitFn emit_literal, MatchFn emit_match)
+{
+    const std::size_t n = input.size();
+    const std::size_t window = std::size_t{1} << cfg.windowBits;
+    std::vector<std::uint32_t> head(kHashSize, kNoPos);
+    std::vector<std::uint32_t> prev(n, kNoPos);
+
+    std::size_t pos = 0;
+    while (pos < n) {
+        std::size_t best_len = 0;
+        std::size_t best_dist = 0;
+        if (pos + cfg.minMatch <= n) {
+            const std::uint32_t h = hash3(&input[pos]);
+            std::uint32_t cand = head[h];
+            unsigned probes = 32; // bounded chain walk
+            while (cand != kNoPos && probes-- > 0) {
+                const std::size_t dist = pos - cand;
+                if (dist > window)
+                    break;
+                std::size_t len = 0;
+                const std::size_t limit =
+                    std::min<std::size_t>(cfg.maxMatch, n - pos);
+                while (len < limit && input[cand + len] == input[pos + len])
+                    ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = dist;
+                    if (len >= cfg.maxMatch)
+                        break;
+                }
+                cand = prev[cand];
+            }
+        }
+
+        const std::size_t advance =
+            (best_len >= cfg.minMatch) ? best_len : 1;
+        if (best_len >= cfg.minMatch)
+            emit_match(best_dist, best_len);
+        else
+            emit_literal(input[pos]);
+
+        // Insert every covered position into the hash chains.
+        for (std::size_t i = 0; i < advance && pos + i + 3 <= n; ++i) {
+            const std::uint32_t h = hash3(&input[pos + i]);
+            prev[pos + i] = head[h];
+            head[h] = static_cast<std::uint32_t>(pos + i);
+        }
+        pos += advance;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+Lz77::compress(const std::vector<std::uint8_t> &input) const
+{
+    BitWriter out;
+    out.write(input.size(), 64);
+    tokenize(
+        input, config_,
+        [&](std::uint8_t lit) {
+            out.write(0, 1);
+            out.write(lit, 8);
+        },
+        [&](std::size_t dist, std::size_t len) {
+            out.write(1, 1);
+            out.write(dist - 1, config_.windowBits);
+            out.write(len - config_.minMatch, 8);
+        });
+    return out.bytes();
+}
+
+std::vector<std::uint8_t>
+Lz77::decompress(const std::vector<std::uint8_t> &input) const
+{
+    BitReader in(input, static_cast<std::uint64_t>(input.size()) * 8);
+    const std::uint64_t size = in.read(64);
+    std::vector<std::uint8_t> out;
+    out.reserve(size);
+    while (out.size() < size) {
+        if (in.read(1) == 0) {
+            out.push_back(static_cast<std::uint8_t>(in.read(8)));
+        } else {
+            const std::size_t dist =
+                static_cast<std::size_t>(in.read(config_.windowBits)) + 1;
+            const std::size_t len =
+                static_cast<std::size_t>(in.read(8)) + config_.minMatch;
+            assert(dist <= out.size());
+            for (std::size_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - dist]);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+Lz77::compressedBits(const std::vector<std::uint8_t> &input) const
+{
+    std::uint64_t bits = 0;
+    tokenize(
+        input, config_, [&](std::uint8_t) { bits += 1 + 8; },
+        [&](std::size_t, std::size_t) {
+            bits += 1 + config_.windowBits + 8;
+        });
+    return bits;
+}
+
+} // namespace delorean

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * System checkpointing (Figure 2) and interval replay (Appendix B).
+ *
+ * The paper assumes checkpoint support such as ReVive or SafetyNet and
+ * proves: *assuming a system checkpoint was taken at GCC = n, DeLorean
+ * can deterministically replay the execution interval I(n, m)*. A
+ * SystemCheckpoint captures the architectural state of the machine at
+ * a global commit count: the committed memory image, each thread's
+ * context as of its last committed chunk, and the log positions needed
+ * to resume consuming the recording mid-stream.
+ *
+ * Checkpoints are only meaningful at commit boundaries — exactly where
+ * chunk-based machines take them for free, since every chunk commit
+ * already is a processor checkpoint.
+ */
+
+#ifndef DELOREAN_CORE_CHECKPOINT_HPP_
+#define DELOREAN_CORE_CHECKPOINT_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "memory/memory_state.hpp"
+#include "trace/thread_context.hpp"
+
+namespace delorean
+{
+
+/** Architectural machine state at a global commit count. */
+struct SystemCheckpoint
+{
+    /// Global commit count (GCC) this checkpoint corresponds to:
+    /// the state after the first `gcc` commits of the recording.
+    std::uint64_t gcc = 0;
+
+    /// Committed memory image.
+    MemoryState memory;
+
+    /// Per-processor context at the boundary of its last committed
+    /// chunk (the thread's complete architectural state).
+    std::vector<ThreadContext> contexts;
+
+    /// Chunks committed per processor so far (the next logical chunk
+    /// sequence number each processor will execute).
+    std::vector<ChunkSeq> committedChunks;
+
+    /// DMA transfers consumed so far.
+    std::size_t dmaConsumed = 0;
+
+    /// PicoLog: the processor whose commit turn is next.
+    ProcId rrNext = 0;
+
+    bool
+    valid() const
+    {
+        return !contexts.empty()
+               && contexts.size() == committedChunks.size();
+    }
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CORE_CHECKPOINT_HPP_

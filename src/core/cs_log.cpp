@@ -1,0 +1,61 @@
+#include "core/cs_log.hpp"
+
+#include <algorithm>
+
+namespace delorean
+{
+
+namespace
+{
+
+/** Clamp @p v into @p bits (format fields are fixed width). */
+std::uint64_t
+clampBits(std::uint64_t v, unsigned bits)
+{
+    const std::uint64_t max = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+    return std::min(v, max);
+}
+
+} // namespace
+
+std::uint64_t
+CsLog::sizeBits() const
+{
+    if (mode_.mode == ExecMode::kOrderAndSize) {
+        std::uint64_t bits = 0;
+        for (const auto &e : entries_)
+            bits += e.maxSize ? 1 : 12;
+        return bits;
+    }
+    return static_cast<std::uint64_t>(entries_.size())
+           * (mode_.csDistanceBits + mode_.csSizeBits);
+}
+
+std::vector<std::uint8_t>
+CsLog::packedBytes() const
+{
+    BitWriter writer;
+    if (mode_.mode == ExecMode::kOrderAndSize) {
+        for (const auto &e : entries_) {
+            if (e.maxSize) {
+                writer.write(1, 1);
+            } else {
+                writer.write(0, 1);
+                writer.write(clampBits(e.size, 11), 11);
+            }
+        }
+    } else {
+        ChunkSeq last_trunc = 0;
+        for (const auto &e : entries_) {
+            const std::uint64_t distance = e.seq - last_trunc;
+            writer.write(clampBits(distance, mode_.csDistanceBits),
+                         mode_.csDistanceBits);
+            writer.write(clampBits(e.size, mode_.csSizeBits),
+                         mode_.csSizeBits);
+            last_trunc = e.seq;
+        }
+    }
+    return writer.bytes();
+}
+
+} // namespace delorean

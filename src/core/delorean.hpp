@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the DeLorean library.
+ *
+ * DeLorean (Montesinos, Ceze, Torrellas — ISCA 2008) is a scheme for
+ * recording and deterministically replaying shared-memory
+ * multiprocessor execution by executing instructions in atomic chunks
+ * and logging only the chunk commit order.
+ *
+ * Layering (bottom up):
+ *  - common/    types, RNG, bitstreams, stats, configuration
+ *  - compress/  LZ77 log compression
+ *  - signature/ Bulk-style address signatures
+ *  - memory/    memory state, caches, directory
+ *  - trace/     synthetic workloads and device models
+ *  - sim/       timing model and RC/SC baseline executors
+ *  - chunk/     chunk and speculative-line primitives
+ *  - core/      the DeLorean engine, logs, recorder and replayer
+ *  - baselines/ FDR / RTR / Strata reference recorders
+ */
+
+#ifndef DELOREAN_CORE_DELOREAN_HPP_
+#define DELOREAN_CORE_DELOREAN_HPP_
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/cs_log.hpp"
+#include "core/engine.hpp"
+#include "core/fingerprint.hpp"
+#include "core/input_logs.hpp"
+#include "core/pi_log.hpp"
+#include "core/recorder.hpp"
+#include "core/recording.hpp"
+#include "core/stratifier.hpp"
+#include "sim/interleaved_executor.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/workload.hpp"
+
+#endif // DELOREAN_CORE_DELOREAN_HPP_

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Execution fingerprint: the evidence used to check determinism.
+ *
+ * A fingerprint captures the architectural outcome of a chunked
+ * execution: the global commit interleaving (one record per *logical*
+ * chunk), the per-thread dataflow accumulators and retired counts,
+ * and a hash of the final memory image. Replay is deterministic
+ * (Appendix B's definition) iff its fingerprint matches.
+ *
+ * Stratified replay may legally reorder commits of non-conflicting
+ * chunks within a stratum, so it is checked with matchesPerProc(),
+ * which compares per-processor commit streams and the final state but
+ * not the global interleaving.
+ */
+
+#ifndef DELOREAN_CORE_FINGERPRINT_HPP_
+#define DELOREAN_CORE_FINGERPRINT_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** One committed logical chunk. */
+struct CommitRecord
+{
+    ProcId proc = 0;
+    ChunkSeq seq = 0;       ///< processor-local logical chunk number
+    InstrCount size = 0;    ///< total instructions (pieces summed)
+    std::uint64_t accAfter = 0; ///< thread accumulator after the chunk
+
+    bool operator==(const CommitRecord &) const = default;
+};
+
+/** Architectural outcome of a chunked execution. */
+struct ExecutionFingerprint
+{
+    std::vector<CommitRecord> commits; ///< global commit order
+    std::vector<std::uint64_t> perProcAcc;
+    std::vector<InstrCount> perProcRetired;
+    std::uint64_t finalMemHash = 0;
+
+    /** Exact match: same interleaving, same state. */
+    bool
+    matchesExact(const ExecutionFingerprint &other) const
+    {
+        return commits == other.commits && statesMatch(other);
+    }
+
+    /**
+     * Per-processor match: each processor committed the same chunk
+     * stream, and the final state is identical. The global
+     * interleaving may differ (stratified replay).
+     */
+    bool
+    matchesPerProc(const ExecutionFingerprint &other) const
+    {
+        if (!statesMatch(other))
+            return false;
+        const unsigned n =
+            static_cast<unsigned>(perProcAcc.size());
+        for (ProcId p = 0; p < n; ++p)
+            if (procStream(p) != other.procStream(p))
+                return false;
+        return true;
+    }
+
+    /** This processor's commit stream, in order. */
+    std::vector<CommitRecord>
+    procStream(ProcId proc) const
+    {
+        std::vector<CommitRecord> stream;
+        for (const auto &c : commits)
+            if (c.proc == proc)
+                stream.push_back(c);
+        return stream;
+    }
+
+    /** Single hash summarizing the fingerprint (for quick checks). */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = finalMemHash;
+        for (const auto &c : commits) {
+            h = mix64(h ^ c.accAfter);
+            h = mix64(h ^ (static_cast<std::uint64_t>(c.proc) << 40 ^ c.size));
+        }
+        for (const auto a : perProcAcc)
+            h = mix64(h ^ a);
+        return h;
+    }
+
+  private:
+    bool
+    statesMatch(const ExecutionFingerprint &other) const
+    {
+        return finalMemHash == other.finalMemHash
+               && perProcAcc == other.perProcAcc
+               && perProcRetired == other.perProcRetired;
+    }
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CORE_FINGERPRINT_HPP_

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Input logs: Interrupt, I/O and DMA (Figure 2, Section 3.3).
+ *
+ * These capture the non-repeatable inputs of the initial execution so
+ * that replay can reproduce them:
+ *  - Interrupt log (per processor): the local chunkID whose start
+ *    initiates the handler, plus the interrupt's type and data.
+ *  - I/O log (per processor): the values obtained by I/O loads, in
+ *    architectural order (indexed by the thread's ioLoadCount).
+ *  - DMA log (shared): the data each DMA transfer wrote, plus — in
+ *    PicoLog, which has no PI log — the "commit slot" (global chunk
+ *    commit count) at which the transfer committed.
+ */
+
+#ifndef DELOREAN_CORE_INPUT_LOGS_HPP_
+#define DELOREAN_CORE_INPUT_LOGS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/devices.hpp"
+
+namespace delorean
+{
+
+/** One recorded interrupt. */
+struct InterruptRecord
+{
+    ChunkSeq chunkSeq = 0; ///< local ID of the chunk starting the handler
+    std::uint8_t type = 0;
+    std::uint64_t data = 0;
+};
+
+/** Per-processor interrupt logs. */
+class InterruptLog
+{
+  public:
+    explicit InterruptLog(unsigned num_procs) : per_proc_(num_procs) {}
+
+    void
+    append(ProcId proc, const InterruptRecord &rec)
+    {
+        per_proc_[proc].push_back(rec);
+    }
+
+    const std::vector<InterruptRecord> &
+    entries(ProcId proc) const
+    {
+        return per_proc_[proc];
+    }
+
+    std::size_t
+    totalEntries() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : per_proc_)
+            n += v.size();
+        return n;
+    }
+
+    /** Approximate size: 32-bit chunkID + 2-bit type + 64-bit data. */
+    std::uint64_t sizeBits() const { return totalEntries() * (32 + 2 + 64); }
+
+  private:
+    std::vector<std::vector<InterruptRecord>> per_proc_;
+};
+
+/** Per-processor replay cursor over the interrupt log. */
+class InterruptLogCursor
+{
+  public:
+    InterruptLogCursor(const InterruptLog &log, ProcId proc)
+        : entries_(&log.entries(proc))
+    {
+    }
+
+    /** True if an interrupt must fire at the start of chunk @p seq. */
+    bool
+    pendingFor(ChunkSeq seq) const
+    {
+        return pos_ < entries_->size() && (*entries_)[pos_].chunkSeq == seq;
+    }
+
+    const InterruptRecord &peek() const { return (*entries_)[pos_]; }
+
+    void consume() { ++pos_; }
+
+  private:
+    const std::vector<InterruptRecord> *entries_;
+    std::size_t pos_ = 0;
+};
+
+/** Per-processor I/O-load value log, indexed by ioLoadCount. */
+class IoLog
+{
+  public:
+    explicit IoLog(unsigned num_procs) : per_proc_(num_procs) {}
+
+    /** Record that I/O load number @p index returned @p value. */
+    void
+    append(ProcId proc, std::uint64_t index, std::uint64_t value)
+    {
+        auto &v = per_proc_[proc];
+        if (index >= v.size())
+            v.resize(index + 1, 0);
+        v[index] = value;
+    }
+
+    /** Value for I/O load number @p index during replay. */
+    std::uint64_t
+    valueAt(ProcId proc, std::uint64_t index) const
+    {
+        return per_proc_[proc].at(index);
+    }
+
+    /** Number of logged I/O loads for @p proc. */
+    std::size_t
+    countFor(ProcId proc) const
+    {
+        return per_proc_[proc].size();
+    }
+
+    std::size_t
+    totalEntries() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : per_proc_)
+            n += v.size();
+        return n;
+    }
+
+    std::uint64_t sizeBits() const { return totalEntries() * 64; }
+
+  private:
+    std::vector<std::vector<std::uint64_t>> per_proc_;
+};
+
+/** Shared DMA log: transfers in commit order (+ PicoLog slots). */
+class DmaLog
+{
+  public:
+    void
+    append(const DmaTransfer &xfer, std::uint64_t commit_slot)
+    {
+        transfers_.push_back(xfer);
+        commit_slots_.push_back(commit_slot);
+    }
+
+    std::size_t count() const { return transfers_.size(); }
+
+    const DmaTransfer &transferAt(std::size_t i) const
+    {
+        return transfers_[i];
+    }
+
+    /** Global chunk-commit count at which transfer @p i committed. */
+    std::uint64_t slotAt(std::size_t i) const { return commit_slots_[i]; }
+
+    std::uint64_t
+    sizeBits() const
+    {
+        std::uint64_t bits = 0;
+        for (const auto &t : transfers_)
+            bits += 64 + t.values.size() * (64 + 32);
+        return bits;
+    }
+
+  private:
+    std::vector<DmaTransfer> transfers_;
+    std::vector<std::uint64_t> commit_slots_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CORE_INPUT_LOGS_HPP_

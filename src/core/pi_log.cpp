@@ -1,0 +1,49 @@
+#include "core/pi_log.hpp"
+
+#include <cassert>
+
+namespace delorean
+{
+
+namespace
+{
+
+unsigned
+bitsFor(unsigned distinct_values)
+{
+    unsigned bits = 1;
+    while ((1u << bits) < distinct_values)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+PiLog::PiLog(unsigned num_procs)
+    : num_procs_(num_procs),
+      entry_bits_(bitsFor(num_procs + 1)),
+      dma_code_(static_cast<std::uint16_t>(num_procs))
+{
+}
+
+void
+PiLog::append(ProcId proc)
+{
+    if (proc == kDmaProcId) {
+        entries_.push_back(dma_code_);
+    } else {
+        assert(proc < num_procs_);
+        entries_.push_back(static_cast<std::uint16_t>(proc));
+    }
+}
+
+std::vector<std::uint8_t>
+PiLog::packedBytes() const
+{
+    BitWriter writer;
+    for (const auto entry : entries_)
+        writer.write(entry, entry_bits_);
+    return writer.bytes();
+}
+
+} // namespace delorean

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Recording bundle: everything a DeLorean recording produces, plus
+ * the statistics the evaluation section reports.
+ */
+
+#ifndef DELOREAN_CORE_RECORDING_HPP_
+#define DELOREAN_CORE_RECORDING_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "compress/lz77.hpp"
+#include "core/checkpoint.hpp"
+#include "core/cs_log.hpp"
+#include "core/fingerprint.hpp"
+#include "core/input_logs.hpp"
+#include "core/pi_log.hpp"
+#include "core/stratifier.hpp"
+#include "memory/directory.hpp"
+
+namespace delorean
+{
+
+/** Engine statistics (backs Figures 10-12 and Table 6). */
+struct EngineStats
+{
+    Cycle totalCycles = 0;
+    InstrCount retiredInstrs = 0;   ///< committed instructions
+    InstrCount executedInstrs = 0;  ///< including squashed work
+    std::uint64_t committedChunks = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t overflowTruncations = 0;
+    std::uint64_t collisionTruncations = 0;
+    std::uint64_t hardTruncations = 0; ///< I/O, special instructions
+    std::uint64_t replaySplitChunks = 0; ///< unexpected-overflow splits
+
+    /// Cycles processors spent stalled with all simultaneous chunks
+    /// completed but uncommitted (Table 6 "Stall Cycles").
+    std::vector<std::uint64_t> perProcStallCycles;
+
+    // --- PicoLog commit-token statistics (Table 6) ---------------------
+    RunningStat readyProcsAtCommit; ///< procs with a ready chunk
+    RunningStat parallelCommits;    ///< commits overlapping at initiation
+    std::uint64_t tokenArrivalsReady = 0;
+    std::uint64_t tokenArrivalsNotReady = 0;
+    RunningStat waitForTokenCycles;    ///< ready: completion -> token
+    RunningStat waitForCompleteCycles; ///< not ready: token -> completion
+    RunningStat tokenRoundtripCycles;
+
+    TrafficStats traffic;
+
+    /** Fraction of total machine cycles spent stalled. */
+    double
+    stallFraction() const
+    {
+        if (!totalCycles || perProcStallCycles.empty())
+            return 0.0;
+        std::uint64_t sum = 0;
+        for (const auto s : perProcStallCycles)
+            sum += s;
+        return static_cast<double>(sum)
+               / (static_cast<double>(totalCycles)
+                  * static_cast<double>(perProcStallCycles.size()));
+    }
+
+    /** Percentage of token arrivals that found the processor ready. */
+    double
+    procReadyPercent() const
+    {
+        const std::uint64_t total =
+            tokenArrivalsReady + tokenArrivalsNotReady;
+        return total ? 100.0 * static_cast<double>(tokenArrivalsReady)
+                           / static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Raw and LZ77-compressed sizes of one log. */
+struct LogSize
+{
+    std::uint64_t rawBits = 0;
+    std::uint64_t compressedBits = 0;
+};
+
+/** Memory-ordering log sizes of a recording. */
+struct LogSizeReport
+{
+    LogSize pi;          ///< PI log (or stratified PI log if enabled)
+    LogSize cs;          ///< all CS logs combined
+    InstrCount retiredInstrs = 0;
+    unsigned numProcs = 1;
+
+    /** Paper metric: bits per processor per kilo-instruction. */
+    double
+    bitsPerProcPerKiloInstr(bool compressed) const
+    {
+        // retiredInstrs counts all processors, so dividing by total
+        // kilo-instructions already yields a per-processor figure.
+        const double kilo_instrs =
+            static_cast<double>(retiredInstrs) / 1000.0;
+        const double bits = static_cast<double>(
+            compressed ? pi.compressedBits + cs.compressedBits
+                       : pi.rawBits + cs.rawBits);
+        return kilo_instrs > 0 ? bits / kilo_instrs : 0.0;
+    }
+
+    double
+    piBitsPerProcPerKiloInstr(bool compressed) const
+    {
+        const double kilo_instrs =
+            static_cast<double>(retiredInstrs) / 1000.0;
+        const double bits = static_cast<double>(
+            compressed ? pi.compressedBits : pi.rawBits);
+        return kilo_instrs > 0 ? bits / kilo_instrs : 0.0;
+    }
+
+    double
+    csBitsPerProcPerKiloInstr(bool compressed) const
+    {
+        const double kilo_instrs =
+            static_cast<double>(retiredInstrs) / 1000.0;
+        const double bits = static_cast<double>(
+            compressed ? cs.compressedBits : cs.rawBits);
+        return kilo_instrs > 0 ? bits / kilo_instrs : 0.0;
+    }
+};
+
+/** Everything produced by recording one execution. */
+struct Recording
+{
+    MachineConfig machine;
+    ModeConfig mode;
+    std::string appName;
+    std::uint64_t workloadSeed = 0;
+    unsigned iterationsPercent = 100;
+
+    PiLog pi{8};
+    std::vector<Stratum> strata; ///< filled when mode.stratify... != 0
+    std::vector<CsLog> cs;       ///< one per processor
+    InterruptLog interrupts{8};
+    IoLog io{8};
+    DmaLog dma;
+
+    ExecutionFingerprint fingerprint;
+    EngineStats stats;
+
+    /// System checkpoints taken during recording (Figure 2), at the
+    /// GCC values requested through EngineOptions::checkpointGccs.
+    std::vector<SystemCheckpoint> checkpoints;
+
+    bool stratified() const { return mode.stratifyChunksPerProc != 0; }
+
+    /**
+     * Expected fingerprint of the interval I(gcc, end): the commits
+     * after the first @p gcc, plus the (final) end-of-run state. Used
+     * to validate interval replay from a checkpoint (Appendix B).
+     */
+    ExecutionFingerprint
+    fingerprintFrom(std::uint64_t gcc) const
+    {
+        ExecutionFingerprint fp = fingerprint;
+        fp.commits.erase(fp.commits.begin(),
+                         fp.commits.begin()
+                             + static_cast<long>(std::min<std::size_t>(
+                                 gcc - dmaCommitsBefore(gcc),
+                                 fp.commits.size())));
+        return fp;
+    }
+
+    /** DMA commits among the first @p gcc global commits. */
+    std::size_t
+    dmaCommitsBefore(std::uint64_t gcc) const
+    {
+        if (mode.mode == ExecMode::kPicoLog) {
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < dma.count(); ++i)
+                n += dma.slotAt(i) < gcc;
+            return n;
+        }
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < std::min<std::size_t>(
+                                    gcc, pi.entryCount());
+             ++i)
+            n += pi.entryAt(i) == kDmaProcId;
+        return n;
+    }
+
+    /** Measure raw + compressed memory-ordering log sizes. */
+    LogSizeReport
+    logSizes() const
+    {
+        const Lz77 codec;
+        LogSizeReport report;
+        report.retiredInstrs = stats.retiredInstrs;
+        report.numProcs = machine.numProcs;
+
+        if (mode.mode != ExecMode::kPicoLog) {
+            if (stratified()) {
+                Stratifier packer(machine.numProcs,
+                                  mode.stratifyChunksPerProc);
+                // Recompute packing from stored strata.
+                std::uint64_t raw = 0;
+                BitWriter writer;
+                for (const auto &s : strata) {
+                    for (const auto c : s.counts) {
+                        writer.write(c, packer.counterBits());
+                        raw += packer.counterBits();
+                    }
+                }
+                report.pi.rawBits = raw;
+                report.pi.compressedBits =
+                    codec.compressedBits(writer.bytes());
+            } else {
+                report.pi.rawBits = pi.sizeBits();
+                report.pi.compressedBits =
+                    codec.compressedBits(pi.packedBytes());
+            }
+        }
+
+        for (const auto &log : cs) {
+            report.cs.rawBits += log.sizeBits();
+            report.cs.compressedBits +=
+                codec.compressedBits(log.packedBytes());
+        }
+        return report;
+    }
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_CORE_RECORDING_HPP_

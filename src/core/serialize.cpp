@@ -1,0 +1,411 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <type_traits>
+
+namespace delorean
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x44654C6F5265634Full; // "DeLoRecO"
+constexpr std::uint32_t kVersion = 1;
+
+// ----- primitive writers/readers -------------------------------------------
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    out.write(reinterpret_cast<const char *>(bytes), 8);
+}
+
+std::uint64_t
+getU64(std::istream &in)
+{
+    std::uint8_t bytes[8];
+    in.read(reinterpret_cast<char *>(bytes), 8);
+    if (!in)
+        throw std::runtime_error("recording file truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return v;
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+getString(std::istream &in)
+{
+    const std::uint64_t n = getU64(in);
+    if (n > (1u << 20))
+        throw std::runtime_error("recording string too long");
+    std::string s(n, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in)
+        throw std::runtime_error("recording file truncated");
+    return s;
+}
+
+static_assert(std::is_trivially_copyable_v<ThreadContext>,
+              "ThreadContext must stay trivially copyable: checkpoints "
+              "serialize it by value");
+
+void
+putContext(std::ostream &out, const ThreadContext &ctx)
+{
+    char buf[sizeof(ThreadContext)];
+    std::memcpy(buf, &ctx, sizeof(ThreadContext));
+    out.write(buf, sizeof(ThreadContext));
+}
+
+ThreadContext
+getContext(std::istream &in)
+{
+    char buf[sizeof(ThreadContext)];
+    in.read(buf, sizeof(ThreadContext));
+    if (!in)
+        throw std::runtime_error("recording file truncated");
+    ThreadContext ctx;
+    std::memcpy(&ctx, buf, sizeof(ThreadContext));
+    return ctx;
+}
+
+// ----- sections -------------------------------------------------------------
+
+void
+putMode(std::ostream &out, const ModeConfig &mode)
+{
+    putU64(out, static_cast<std::uint64_t>(mode.mode));
+    putU64(out, mode.chunkSize);
+    putU64(out, mode.varSizeTruncatePercent);
+    putU64(out, mode.csDistanceBits);
+    putU64(out, mode.csSizeBits);
+    putU64(out, mode.piProcIdBits);
+    putU64(out, mode.stratifyChunksPerProc);
+}
+
+ModeConfig
+getMode(std::istream &in)
+{
+    ModeConfig mode;
+    mode.mode = static_cast<ExecMode>(getU64(in));
+    mode.chunkSize = getU64(in);
+    mode.varSizeTruncatePercent =
+        static_cast<unsigned>(getU64(in));
+    mode.csDistanceBits = static_cast<unsigned>(getU64(in));
+    mode.csSizeBits = static_cast<unsigned>(getU64(in));
+    mode.piProcIdBits = static_cast<unsigned>(getU64(in));
+    mode.stratifyChunksPerProc = static_cast<unsigned>(getU64(in));
+    return mode;
+}
+
+void
+putMachine(std::ostream &out, const MachineConfig &m)
+{
+    putU64(out, m.numProcs);
+    putU64(out, m.mem.l1SizeBytes);
+    putU64(out, m.mem.l1Ways);
+    putU64(out, m.mem.l2SizeBytes);
+    putU64(out, m.mem.l2Ways);
+    putU64(out, m.bulk.signatureBits);
+    putU64(out, m.bulk.commitArbitration);
+    putU64(out, m.bulk.maxConcurrentCommits);
+    putU64(out, m.bulk.simultaneousChunks);
+    putU64(out, m.bulk.collisionBackoffThreshold);
+    putU64(out, m.bulk.exactDisambiguation ? 1 : 0);
+}
+
+MachineConfig
+getMachine(std::istream &in)
+{
+    MachineConfig m;
+    m.numProcs = static_cast<unsigned>(getU64(in));
+    m.mem.l1SizeBytes = static_cast<unsigned>(getU64(in));
+    m.mem.l1Ways = static_cast<unsigned>(getU64(in));
+    m.mem.l2SizeBytes = static_cast<unsigned>(getU64(in));
+    m.mem.l2Ways = static_cast<unsigned>(getU64(in));
+    m.bulk.signatureBits = static_cast<unsigned>(getU64(in));
+    m.bulk.commitArbitration = getU64(in);
+    m.bulk.maxConcurrentCommits = static_cast<unsigned>(getU64(in));
+    m.bulk.simultaneousChunks = static_cast<unsigned>(getU64(in));
+    m.bulk.collisionBackoffThreshold =
+        static_cast<unsigned>(getU64(in));
+    m.bulk.exactDisambiguation = getU64(in) != 0;
+    return m;
+}
+
+} // namespace
+
+void
+saveRecording(const Recording &rec, std::ostream &out)
+{
+    putU64(out, kMagic);
+    putU64(out, kVersion);
+    putMachine(out, rec.machine);
+    putMode(out, rec.mode);
+    putString(out, rec.appName);
+    putU64(out, rec.workloadSeed);
+    putU64(out, rec.iterationsPercent);
+
+    // PI log.
+    putU64(out, rec.pi.entryCount());
+    for (std::size_t i = 0; i < rec.pi.entryCount(); ++i)
+        putU64(out, rec.pi.entryAt(i));
+
+    // Strata.
+    putU64(out, rec.strata.size());
+    for (const Stratum &s : rec.strata) {
+        putU64(out, s.isDma ? 1 : 0);
+        putU64(out, s.counts.size());
+        for (const auto c : s.counts)
+            putU64(out, c);
+    }
+
+    // CS logs.
+    putU64(out, rec.cs.size());
+    for (const CsLog &log : rec.cs) {
+        putU64(out, log.entryCount());
+        for (const CsEntry &e : log.entries()) {
+            putU64(out, e.seq);
+            putU64(out, e.size);
+            putU64(out, e.maxSize ? 1 : 0);
+        }
+    }
+
+    // Interrupt log.
+    putU64(out, rec.machine.numProcs);
+    for (ProcId p = 0; p < rec.machine.numProcs; ++p) {
+        const auto &entries = rec.interrupts.entries(p);
+        putU64(out, entries.size());
+        for (const InterruptRecord &e : entries) {
+            putU64(out, e.chunkSeq);
+            putU64(out, e.type);
+            putU64(out, e.data);
+        }
+    }
+
+    // I/O log (dense per processor, indexed from 0).
+    for (ProcId p = 0; p < rec.machine.numProcs; ++p) {
+        const std::uint64_t count = rec.io.countFor(p);
+        putU64(out, count);
+        for (std::uint64_t i = 0; i < count; ++i)
+            putU64(out, rec.io.valueAt(p, i));
+    }
+
+    // DMA log.
+    putU64(out, rec.dma.count());
+    for (std::size_t i = 0; i < rec.dma.count(); ++i) {
+        const DmaTransfer &t = rec.dma.transferAt(i);
+        putU64(out, rec.dma.slotAt(i));
+        putU64(out, t.wordAddrs.size());
+        for (std::size_t k = 0; k < t.wordAddrs.size(); ++k) {
+            putU64(out, t.wordAddrs[k]);
+            putU64(out, t.values[k]);
+        }
+    }
+
+    // Fingerprint.
+    putU64(out, rec.fingerprint.commits.size());
+    for (const CommitRecord &c : rec.fingerprint.commits) {
+        putU64(out, c.proc);
+        putU64(out, c.seq);
+        putU64(out, c.size);
+        putU64(out, c.accAfter);
+    }
+    putU64(out, rec.fingerprint.perProcAcc.size());
+    for (std::size_t p = 0; p < rec.fingerprint.perProcAcc.size();
+         ++p) {
+        putU64(out, rec.fingerprint.perProcAcc[p]);
+        putU64(out, rec.fingerprint.perProcRetired[p]);
+    }
+    putU64(out, rec.fingerprint.finalMemHash);
+
+    // Headline statistics.
+    putU64(out, rec.stats.totalCycles);
+    putU64(out, rec.stats.retiredInstrs);
+    putU64(out, rec.stats.executedInstrs);
+    putU64(out, rec.stats.committedChunks);
+    putU64(out, rec.stats.squashes);
+    putU64(out, rec.stats.overflowTruncations);
+    putU64(out, rec.stats.collisionTruncations);
+    putU64(out, rec.stats.hardTruncations);
+
+    // Checkpoints.
+    putU64(out, rec.checkpoints.size());
+    for (const SystemCheckpoint &ckpt : rec.checkpoints) {
+        putU64(out, ckpt.gcc);
+        putU64(out, ckpt.dmaConsumed);
+        putU64(out, ckpt.rrNext);
+        putU64(out, ckpt.contexts.size());
+        for (std::size_t p = 0; p < ckpt.contexts.size(); ++p) {
+            putContext(out, ckpt.contexts[p]);
+            putU64(out, ckpt.committedChunks[p]);
+        }
+        putU64(out, ckpt.memory.words().size());
+        for (const auto &[addr, value] : ckpt.memory.words()) {
+            putU64(out, addr);
+            putU64(out, value);
+        }
+    }
+
+    if (!out)
+        throw std::runtime_error("failed to write recording");
+}
+
+Recording
+loadRecording(std::istream &in)
+{
+    if (getU64(in) != kMagic)
+        throw std::runtime_error("not a DeLorean recording");
+    if (getU64(in) != kVersion)
+        throw std::runtime_error("unsupported recording version");
+
+    Recording rec;
+    rec.machine = getMachine(in);
+    rec.mode = getMode(in);
+    rec.appName = getString(in);
+    rec.workloadSeed = getU64(in);
+    rec.iterationsPercent = static_cast<unsigned>(getU64(in));
+
+    rec.pi = PiLog(rec.machine.numProcs);
+    const std::uint64_t pi_count = getU64(in);
+    for (std::uint64_t i = 0; i < pi_count; ++i)
+        rec.pi.append(static_cast<ProcId>(getU64(in)));
+
+    const std::uint64_t strata_count = getU64(in);
+    for (std::uint64_t i = 0; i < strata_count; ++i) {
+        Stratum s;
+        s.isDma = getU64(in) != 0;
+        const std::uint64_t n = getU64(in);
+        for (std::uint64_t k = 0; k < n; ++k)
+            s.counts.push_back(static_cast<std::uint8_t>(getU64(in)));
+        rec.strata.push_back(std::move(s));
+    }
+
+    const std::uint64_t cs_count = getU64(in);
+    rec.cs.assign(cs_count, CsLog(rec.mode));
+    for (std::uint64_t p = 0; p < cs_count; ++p) {
+        const std::uint64_t n = getU64(in);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const ChunkSeq seq = getU64(in);
+            const InstrCount size = getU64(in);
+            const bool max = getU64(in) != 0;
+            if (rec.mode.mode == ExecMode::kOrderAndSize)
+                rec.cs[p].appendCommittedSize(seq, size, max);
+            else
+                rec.cs[p].appendTruncation(seq, size);
+        }
+    }
+
+    const std::uint64_t irq_procs = getU64(in);
+    rec.interrupts = InterruptLog(static_cast<unsigned>(irq_procs));
+    for (ProcId p = 0; p < irq_procs; ++p) {
+        const std::uint64_t n = getU64(in);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            InterruptRecord e;
+            e.chunkSeq = getU64(in);
+            e.type = static_cast<std::uint8_t>(getU64(in));
+            e.data = getU64(in);
+            rec.interrupts.append(p, e);
+        }
+    }
+
+    rec.io = IoLog(rec.machine.numProcs);
+    for (ProcId p = 0; p < rec.machine.numProcs; ++p) {
+        const std::uint64_t n = getU64(in);
+        for (std::uint64_t i = 0; i < n; ++i)
+            rec.io.append(p, i, getU64(in));
+    }
+
+    const std::uint64_t dma_count = getU64(in);
+    for (std::uint64_t i = 0; i < dma_count; ++i) {
+        const std::uint64_t slot = getU64(in);
+        const std::uint64_t words = getU64(in);
+        DmaTransfer t;
+        for (std::uint64_t k = 0; k < words; ++k) {
+            t.wordAddrs.push_back(getU64(in));
+            t.values.push_back(getU64(in));
+        }
+        rec.dma.append(t, slot);
+    }
+
+    const std::uint64_t commits = getU64(in);
+    for (std::uint64_t i = 0; i < commits; ++i) {
+        CommitRecord c;
+        c.proc = static_cast<ProcId>(getU64(in));
+        c.seq = getU64(in);
+        c.size = getU64(in);
+        c.accAfter = getU64(in);
+        rec.fingerprint.commits.push_back(c);
+    }
+    const std::uint64_t procs = getU64(in);
+    for (std::uint64_t p = 0; p < procs; ++p) {
+        rec.fingerprint.perProcAcc.push_back(getU64(in));
+        rec.fingerprint.perProcRetired.push_back(getU64(in));
+    }
+    rec.fingerprint.finalMemHash = getU64(in);
+
+    rec.stats.totalCycles = getU64(in);
+    rec.stats.retiredInstrs = getU64(in);
+    rec.stats.executedInstrs = getU64(in);
+    rec.stats.committedChunks = getU64(in);
+    rec.stats.squashes = getU64(in);
+    rec.stats.overflowTruncations = getU64(in);
+    rec.stats.collisionTruncations = getU64(in);
+    rec.stats.hardTruncations = getU64(in);
+
+    const std::uint64_t ckpts = getU64(in);
+    for (std::uint64_t i = 0; i < ckpts; ++i) {
+        SystemCheckpoint ckpt;
+        ckpt.gcc = getU64(in);
+        ckpt.dmaConsumed = static_cast<std::size_t>(getU64(in));
+        ckpt.rrNext = static_cast<ProcId>(getU64(in));
+        const std::uint64_t n = getU64(in);
+        for (std::uint64_t p = 0; p < n; ++p) {
+            ckpt.contexts.push_back(getContext(in));
+            ckpt.committedChunks.push_back(getU64(in));
+        }
+        const std::uint64_t words = getU64(in);
+        for (std::uint64_t k = 0; k < words; ++k) {
+            const Addr addr = getU64(in);
+            const std::uint64_t value = getU64(in);
+            ckpt.memory.store(addr, value);
+        }
+        rec.checkpoints.push_back(std::move(ckpt));
+    }
+    return rec;
+}
+
+void
+saveRecordingFile(const Recording &rec, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path + " for write");
+    saveRecording(rec, out);
+}
+
+Recording
+loadRecordingFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return loadRecording(in);
+}
+
+} // namespace delorean

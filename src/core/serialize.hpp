@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recording persistence: save a Recording to a file and load it back.
+ *
+ * A recorder box would stream its logs to stable storage; a developer
+ * replays them later, possibly on a different machine. The format is a
+ * simple little-endian binary container (magic + version + sections)
+ * covering the memory-ordering logs, the input logs, the execution
+ * fingerprint, the headline statistics and any system checkpoints.
+ *
+ * save(load(x)) == x for everything replay needs; see
+ * tests/test_serialize.cpp.
+ */
+
+#ifndef DELOREAN_CORE_SERIALIZE_HPP_
+#define DELOREAN_CORE_SERIALIZE_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/recording.hpp"
+
+namespace delorean
+{
+
+/** Serialize @p rec to @p out. Throws std::runtime_error on failure. */
+void saveRecording(const Recording &rec, std::ostream &out);
+
+/** Serialize @p rec to file @p path. */
+void saveRecordingFile(const Recording &rec, const std::string &path);
+
+/** Deserialize a Recording. Throws std::runtime_error on bad input. */
+Recording loadRecording(std::istream &in);
+
+/** Deserialize a Recording from file @p path. */
+Recording loadRecordingFile(const std::string &path);
+
+} // namespace delorean
+
+#endif // DELOREAN_CORE_SERIALIZE_HPP_

@@ -1,0 +1,142 @@
+#include "memory/cache.hpp"
+
+#include <cassert>
+
+namespace delorean
+{
+
+namespace
+{
+
+unsigned
+setsFor(unsigned size_bytes, unsigned ways)
+{
+    const unsigned lines = size_bytes / kLineBytes;
+    assert(lines % ways == 0);
+    const unsigned sets = lines / ways;
+    assert((sets & (sets - 1)) == 0 && "set count must be a power of two");
+    return sets;
+}
+
+} // namespace
+
+Cache::Cache(unsigned size_bytes, unsigned ways)
+    : num_sets_(setsFor(size_bytes, ways)),
+      ways_(ways),
+      ways_storage_(static_cast<std::size_t>(num_sets_) * ways)
+{
+}
+
+bool
+Cache::access(Addr line)
+{
+    Way *set = &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+    ++use_clock_;
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].lastUse = use_clock_;
+            ++hits_;
+            return true;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+        } else if (victim->valid && set[w].lastUse < victim->lastUse) {
+            victim = &set[w];
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = use_clock_;
+    return false;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    const Way *set =
+        &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (set[w].valid && set[w].line == line)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr line)
+{
+    Way *set = &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].line == line) {
+            set[w].valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : ways_storage_)
+        way = Way{};
+    use_clock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineConfig &config)
+    : l2_(config.mem.l2SizeBytes, config.mem.l2Ways)
+{
+    l1s_.reserve(config.numProcs);
+    for (unsigned p = 0; p < config.numProcs; ++p)
+        l1s_.emplace_back(config.mem.l1SizeBytes, config.mem.l1Ways);
+}
+
+HitLevel
+CacheHierarchy::access(ProcId proc, Addr line)
+{
+    assert(proc < l1s_.size());
+    if (l1s_[proc].access(line))
+        return HitLevel::kL1;
+    if (l2_.access(line))
+        return HitLevel::kL2;
+    return HitLevel::kMemory;
+}
+
+HitLevel
+CacheHierarchy::probe(ProcId proc, Addr line) const
+{
+    assert(proc < l1s_.size());
+    if (l1s_[proc].contains(line))
+        return HitLevel::kL1;
+    if (l2_.contains(line))
+        return HitLevel::kL2;
+    return HitLevel::kMemory;
+}
+
+void
+CacheHierarchy::invalidateOthers(ProcId except, Addr line)
+{
+    for (ProcId p = 0; p < l1s_.size(); ++p)
+        if (p != except)
+            l1s_[p].invalidate(line);
+}
+
+void
+CacheHierarchy::pollute(ProcId proc, Addr line)
+{
+    assert(proc < l1s_.size());
+    l1s_[proc].access(line);
+}
+
+void
+CacheHierarchy::reset()
+{
+    for (auto &l1 : l1s_)
+        l1.reset();
+    l2_.reset();
+}
+
+} // namespace delorean

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used for the private L1s and the shared L2 (Table 5 geometries).
+ * The model tracks tags only — data lives in MemoryState — but the
+ * hit/miss outcomes are structural: they depend on the actual address
+ * stream, so cache-overflow chunk truncation and the timing model both
+ * see real behaviour.
+ */
+
+#ifndef DELOREAN_MEMORY_CACHE_HPP_
+#define DELOREAN_MEMORY_CACHE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** Where an access was satisfied. */
+enum class HitLevel : std::uint8_t
+{
+    kL1,
+    kL2,
+    kMemory,
+};
+
+/** One set-associative tag array with LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param ways associativity
+     */
+    Cache(unsigned size_bytes, unsigned ways);
+
+    /**
+     * Look up @p line; on miss, fill it (possibly evicting LRU).
+     * @return true on hit.
+     */
+    bool access(Addr line);
+
+    /** Look up without filling or touching LRU state. */
+    bool contains(Addr line) const;
+
+    /** Invalidate @p line if present; returns true if it was. */
+    bool invalidate(Addr line);
+
+    /** Set index that @p line maps to. */
+    unsigned setIndexOf(Addr line) const { return indexOf(line); }
+
+    unsigned numSets() const { return num_sets_; }
+    unsigned numWays() const { return ways_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned indexOf(Addr line) const { return line & (num_sets_ - 1); }
+
+    unsigned num_sets_;
+    unsigned ways_;
+    std::vector<Way> ways_storage_; // num_sets_ * ways_
+    std::uint64_t use_clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Private-L1s + shared-L2 hierarchy. Returns the level that satisfied
+ * each access and fills the caches along the way. Latency translation
+ * is the timing model's job.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const MachineConfig &config);
+
+    /** Access @p line from processor @p proc; fills L1[proc] and L2. */
+    HitLevel access(ProcId proc, Addr line);
+
+    /** Probe-only variant (no state change). */
+    HitLevel probe(ProcId proc, Addr line) const;
+
+    /** Invalidate @p line in every L1 except @p except (coherence). */
+    void invalidateOthers(ProcId except, Addr line);
+
+    /** Warm a line into a processor's L1 (wrong-path pollution). */
+    void pollute(ProcId proc, Addr line);
+
+    const Cache &l1(ProcId proc) const { return l1s_[proc]; }
+    Cache &l1(ProcId proc) { return l1s_[proc]; }
+    const Cache &l2() const { return l2_; }
+    Cache &l2() { return l2_; }
+
+    void reset();
+
+  private:
+    std::vector<Cache> l1s_;
+    Cache l2_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_MEMORY_CACHE_HPP_

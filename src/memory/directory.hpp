@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Directory model: per-line sharer tracking and coherence-traffic
+ * accounting for the generic-network machine of Figure 2.
+ *
+ * Timing of individual coherence messages is folded into the cache
+ * latencies; the directory's job here is (i) to know which L1s must be
+ * invalidated when a chunk's writes commit and (ii) to count network
+ * traffic in bytes, which backs the Section 6.3 traffic comparison
+ * (DeLorean vs RC network bytes).
+ */
+
+#ifndef DELOREAN_MEMORY_DIRECTORY_HPP_
+#define DELOREAN_MEMORY_DIRECTORY_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** Per-message-class network byte counters. */
+struct TrafficStats
+{
+    std::uint64_t dataBytes = 0;      ///< cache-line transfers
+    std::uint64_t controlBytes = 0;   ///< requests/acks/invalidations
+    std::uint64_t signatureBytes = 0; ///< signature expansion/commit
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return dataBytes + controlBytes + signatureBytes;
+    }
+};
+
+/** Sharer-tracking directory with traffic accounting. */
+class Directory
+{
+  public:
+    static constexpr unsigned kControlMsgBytes = 8;
+
+    /** Record that @p proc obtained a copy of @p line. */
+    void
+    addSharer(ProcId proc, Addr line)
+    {
+        sharers_[line] |= (1ull << proc);
+    }
+
+    /** Sharer bitmask of @p line (bit p set => L1 of proc p holds it). */
+    std::uint64_t
+    sharersOf(Addr line) const
+    {
+        const auto it = sharers_.find(line);
+        return it == sharers_.end() ? 0 : it->second;
+    }
+
+    /**
+     * A committed write to @p line by @p writer invalidates all other
+     * sharers. Returns the number of invalidations sent (and counts
+     * their traffic).
+     */
+    unsigned
+    commitWrite(ProcId writer, Addr line)
+    {
+        auto it = sharers_.find(line);
+        unsigned invalidations = 0;
+        if (it != sharers_.end()) {
+            std::uint64_t others = it->second & ~(1ull << writer);
+            invalidations =
+                static_cast<unsigned>(__builtin_popcountll(others));
+        }
+        sharers_[line] = (1ull << writer);
+        traffic_.controlBytes +=
+            static_cast<std::uint64_t>(invalidations) * kControlMsgBytes;
+        return invalidations;
+    }
+
+    /** Account a line transfer (miss fill). */
+    void
+    countLineTransfer()
+    {
+        traffic_.dataBytes += kLineBytes;
+        traffic_.controlBytes += kControlMsgBytes;
+    }
+
+    /** Account one signature message of @p signature_bits bits. */
+    void
+    countSignatureMessage(unsigned signature_bits)
+    {
+        traffic_.signatureBytes += signature_bits / 8;
+    }
+
+    /** Account a generic control message. */
+    void countControlMessage() { traffic_.controlBytes += kControlMsgBytes; }
+
+    const TrafficStats &traffic() const { return traffic_; }
+
+    void
+    reset()
+    {
+        sharers_.clear();
+        traffic_ = TrafficStats{};
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> sharers_;
+    TrafficStats traffic_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_MEMORY_DIRECTORY_HPP_

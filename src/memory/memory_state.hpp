@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Word-granular committed architectural memory state.
+ *
+ * Memory is sparse: untouched words read as a deterministic function
+ * of their address (so two states that differ only in redundantly
+ * written default values still hash equal). The chunk engine buffers
+ * speculative stores privately and only applies them here at commit,
+ * which is what makes chunk execution atomic and isolated.
+ */
+
+#ifndef DELOREAN_MEMORY_MEMORY_STATE_HPP_
+#define DELOREAN_MEMORY_MEMORY_STATE_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** Committed memory image, word addressed. */
+class MemoryState
+{
+  public:
+    /** Deterministic initial value of an untouched word. */
+    static std::uint64_t
+    initValue(Addr word_addr)
+    {
+        return mix64(word_addr ^ 0xA5A5A5A55A5A5A5Aull);
+    }
+
+    /** Read the committed value of @p word_addr. */
+    std::uint64_t
+    load(Addr word_addr) const
+    {
+        const auto it = words_.find(word_addr);
+        return it == words_.end() ? initValue(word_addr) : it->second;
+    }
+
+    /** Write @p value to @p word_addr. */
+    void
+    store(Addr word_addr, std::uint64_t value)
+    {
+        if (value == initValue(word_addr))
+            words_.erase(word_addr);
+        else
+            words_[word_addr] = value;
+    }
+
+    /** Number of words holding a non-default value. */
+    std::size_t population() const { return words_.size(); }
+
+    /**
+     * Order-independent content hash; equal iff the architectural
+     * memory images are equal.
+     */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0x12345678DEADBEEFull;
+        for (const auto &[addr, value] : words_)
+            h += mix64(addr * 0x9E3779B97F4A7C15ull) ^ mix64(value);
+        return h;
+    }
+
+    /** Full snapshot (used by system checkpointing). */
+    MemoryState snapshot() const { return *this; }
+
+    /** Non-default words (serialization of checkpoints). */
+    const std::unordered_map<Addr, std::uint64_t> &
+    words() const
+    {
+        return words_;
+    }
+
+    bool
+    operator==(const MemoryState &other) const
+    {
+        return words_ == other.words_;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_MEMORY_MEMORY_STATE_HPP_

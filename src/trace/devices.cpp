@@ -1,0 +1,72 @@
+#include "trace/devices.hpp"
+
+#include "trace/layout.hpp"
+
+namespace delorean
+{
+
+namespace
+{
+
+/** Roughly exponential interval with the given mean (never zero). */
+InstrCount
+drawInterval(Xoshiro256ss &rng, std::uint64_t mean)
+{
+    // Sum of two uniforms in [mean/2, mean) gives a cheap unimodal
+    // spread around the mean without calling into libm.
+    return 1 + rng.below(mean) / 2 + rng.below(mean) / 2 + mean / 2;
+}
+
+constexpr std::uint64_t kDmaRegionWords = 4096;
+
+} // namespace
+
+InterruptSource::InterruptSource(const AppProfile &profile,
+                                 unsigned num_procs, std::uint64_t env_seed)
+    : mean_instrs_(profile.irqMeanInstrs),
+      env_rng_(mix64(env_seed)),
+      next_due_(num_procs, 0)
+{
+    for (auto &due : next_due_)
+        due = mean_instrs_ ? drawInterval(env_rng_, mean_instrs_) : 0;
+}
+
+bool
+InterruptSource::poll(ProcId proc, InstrCount instrs_executed,
+                      InterruptEvent &out)
+{
+    if (!enabled() || instrs_executed < next_due_[proc])
+        return false;
+    out.type = static_cast<std::uint8_t>(env_rng_.below(4));
+    out.data = env_rng_.next();
+    next_due_[proc] = instrs_executed + drawInterval(env_rng_, mean_instrs_);
+    return true;
+}
+
+DmaEngine::DmaEngine(const AppProfile &profile, std::uint64_t env_seed)
+    : mean_instrs_(profile.dmaMeanInstrs),
+      burst_words_(profile.dmaBurstWords),
+      env_rng_(mix64(env_seed + 0x0D0Au))
+{
+    if (enabled())
+        next_due_ = drawInterval(env_rng_, mean_instrs_);
+}
+
+bool
+DmaEngine::poll(InstrCount total_instrs, DmaTransfer &out)
+{
+    if (!enabled() || total_instrs < next_due_)
+        return false;
+    out.wordAddrs.clear();
+    out.values.clear();
+    const std::uint64_t start = env_rng_.below(kDmaRegionWords);
+    for (std::uint32_t i = 0; i < burst_words_; ++i) {
+        out.wordAddrs.push_back(
+            AddressLayout::dmaWord((start + i) % kDmaRegionWords));
+        out.values.push_back(env_rng_.next());
+    }
+    next_due_ = total_instrs + drawInterval(env_rng_, mean_instrs_);
+    return true;
+}
+
+} // namespace delorean

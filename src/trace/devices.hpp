@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Environment device models: interrupt source, I/O device, DMA engine.
+ *
+ * Devices are *non-deterministic* with respect to the program: they
+ * are driven by an environment RNG that is seeded differently in the
+ * initial execution and in every replay run. During recording their
+ * outputs flow into the input logs (Interrupt, I/O, DMA); during
+ * replay the logs — never the devices — supply the values. A replay
+ * that consulted the devices instead of the logs would fail the
+ * fingerprint check, which is how the tests prove the input logs are
+ * load-bearing.
+ */
+
+#ifndef DELOREAN_TRACE_DEVICES_HPP_
+#define DELOREAN_TRACE_DEVICES_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/app_profile.hpp"
+
+namespace delorean
+{
+
+/** A pending interrupt for one processor. */
+struct InterruptEvent
+{
+    std::uint8_t type = 0;
+    std::uint64_t data = 0;
+};
+
+/**
+ * Per-processor interrupt timer. Interrupt arrivals are spaced by an
+ * exponential-ish random number of *globally committed instructions*
+ * (a convenient clock that both executors share).
+ */
+class InterruptSource
+{
+  public:
+    InterruptSource(const AppProfile &profile, unsigned num_procs,
+                    std::uint64_t env_seed);
+
+    /** True if the profile generates interrupts at all. */
+    bool enabled() const { return mean_instrs_ != 0; }
+
+    /**
+     * Poll for an interrupt on @p proc given that @p instrs_executed
+     * instructions have been executed by that processor so far.
+     * Returns true at most once per due interval and fills @p out.
+     */
+    bool poll(ProcId proc, InstrCount instrs_executed, InterruptEvent &out);
+
+  private:
+    std::uint64_t mean_instrs_;
+    Xoshiro256ss env_rng_;
+    std::vector<InstrCount> next_due_;
+};
+
+/** One DMA transfer: a burst of word writes. */
+struct DmaTransfer
+{
+    std::vector<Addr> wordAddrs;
+    std::vector<std::uint64_t> values;
+};
+
+/**
+ * DMA engine: periodically produces a burst of writes into the DMA
+ * buffer region. The chunk engine treats it as a pseudo-processor
+ * that requests a commit slot from the arbiter (Section 3.3).
+ */
+class DmaEngine
+{
+  public:
+    DmaEngine(const AppProfile &profile, std::uint64_t env_seed);
+
+    bool enabled() const { return mean_instrs_ != 0; }
+
+    /**
+     * Poll given the machine-wide total of executed instructions;
+     * returns true when a transfer is due and fills @p out.
+     */
+    bool poll(InstrCount total_instrs, DmaTransfer &out);
+
+  private:
+    std::uint64_t mean_instrs_;
+    std::uint32_t burst_words_;
+    Xoshiro256ss env_rng_;
+    InstrCount next_due_ = 0;
+};
+
+/** I/O device: supplies values for uncached I/O loads. */
+class IoDevice
+{
+  public:
+    explicit IoDevice(std::uint64_t env_seed) : env_rng_(env_seed) {}
+
+    /** Value returned by an I/O load from @p port. */
+    std::uint64_t
+    read(Addr port)
+    {
+        return mix64(env_rng_.next() ^ port);
+    }
+
+  private:
+    Xoshiro256ss env_rng_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_TRACE_DEVICES_HPP_

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Simulated physical address-space layout.
+ *
+ * Regions are widely separated so region membership is a simple range
+ * check. Synchronization words (locks, barrier counter/generation)
+ * each live on their own cache line to avoid accidental false sharing;
+ * false sharing, where a profile wants it, is created inside the
+ * shared-data region instead.
+ */
+
+#ifndef DELOREAN_TRACE_LAYOUT_HPP_
+#define DELOREAN_TRACE_LAYOUT_HPP_
+
+#include "common/types.hpp"
+
+namespace delorean
+{
+
+/** Address-space layout helper; pure functions of region bases. */
+class AddressLayout
+{
+  public:
+    static constexpr Addr kSharedBase = 0x1000'0000;
+    static constexpr Addr kPrivateBase = 0x2000'0000;
+    static constexpr Addr kPrivateSpan = 0x0100'0000; ///< per processor
+    static constexpr Addr kLockBase = 0x4000'0000;
+    static constexpr Addr kBarrierBase = 0x4100'0000;
+    static constexpr Addr kKernelBase = 0x5000'0000;
+    static constexpr Addr kDmaBase = 0x6000'0000;
+    static constexpr Addr kIoBase = 0x8000'0000;
+
+    /** i-th word of the shared data region. */
+    static constexpr Addr
+    sharedWord(std::uint64_t i)
+    {
+        return kSharedBase + i * kWordBytes;
+    }
+
+    /** i-th word of processor @p proc's private region. */
+    static constexpr Addr
+    privateWord(ProcId proc, std::uint64_t i)
+    {
+        return kPrivateBase + proc * kPrivateSpan + i * kWordBytes;
+    }
+
+    /** Lock word @p id (one per cache line). */
+    static constexpr Addr
+    lockWord(std::uint32_t id)
+    {
+        return kLockBase + static_cast<Addr>(id) * kLineBytes;
+    }
+
+    /** Central barrier arrival counter. */
+    static constexpr Addr barrierCount() { return kBarrierBase; }
+
+    /** Central barrier generation (sense) word. */
+    static constexpr Addr
+    barrierGen()
+    {
+        return kBarrierBase + kLineBytes;
+    }
+
+    /** i-th word of the kernel region (handlers, syscalls). */
+    static constexpr Addr
+    kernelWord(std::uint64_t i)
+    {
+        return kKernelBase + i * kWordBytes;
+    }
+
+    /** i-th word of the DMA buffer region. */
+    static constexpr Addr
+    dmaWord(std::uint64_t i)
+    {
+        return kDmaBase + i * kWordBytes;
+    }
+
+    /** i-th uncached I/O port address. */
+    static constexpr Addr
+    ioPort(std::uint64_t i)
+    {
+        return kIoBase + i * kWordBytes;
+    }
+
+    /** True for uncached (I/O space) addresses. */
+    static constexpr bool isUncached(Addr addr) { return addr >= kIoBase; }
+
+    /** True for shared-region addresses. */
+    static constexpr bool
+    isShared(Addr addr)
+    {
+        return addr >= kSharedBase && addr < kPrivateBase;
+    }
+
+    /** True for private-region addresses. */
+    static constexpr bool
+    isPrivate(Addr addr)
+    {
+        return addr >= kPrivateBase && addr < kLockBase;
+    }
+
+    /**
+     * Page-like "segment" index of a private-region address, used by
+     * the first-touch trap model. 8 KB segments.
+     */
+    static constexpr unsigned
+    privateSegment(Addr addr)
+    {
+        return static_cast<unsigned>(((addr - kPrivateBase) % kPrivateSpan)
+                                     >> 13);
+    }
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_TRACE_LAYOUT_HPP_

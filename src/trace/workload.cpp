@@ -1,0 +1,38 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+
+#include "trace/layout.hpp"
+
+namespace delorean
+{
+
+Workload::Workload(const std::string &app_name, unsigned num_procs,
+                   std::uint64_t seed, WorkloadScale scale)
+    : Workload(AppTable::byName(app_name), num_procs, seed, scale)
+{
+}
+
+Workload::Workload(const AppProfile &profile, unsigned num_procs,
+                   std::uint64_t seed, WorkloadScale scale)
+    : profile_(profile), num_procs_(num_procs), seed_(seed),
+      iterations_percent_(scale.iterationsPercent)
+{
+    profile_.iterations = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(profile_.iterations)
+               * scale.iterationsPercent / 100));
+    program_ =
+        std::make_unique<ThreadProgram>(profile_, num_procs_, seed_);
+}
+
+void
+Workload::initializeMemory(MemoryState &mem) const
+{
+    for (std::uint32_t l = 0; l < profile_.numLocks; ++l)
+        mem.store(wordOf(AddressLayout::lockWord(l)), 0);
+    mem.store(wordOf(AddressLayout::barrierCount()), 0);
+    mem.store(wordOf(AddressLayout::barrierGen()), 0);
+}
+
+} // namespace delorean

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload: an application profile bound to a machine width, with the
+ * initial memory image and a thread program per processor.
+ */
+
+#ifndef DELOREAN_TRACE_WORKLOAD_HPP_
+#define DELOREAN_TRACE_WORKLOAD_HPP_
+
+#include <memory>
+#include <string>
+
+#include "memory/memory_state.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/thread_program.hpp"
+
+namespace delorean
+{
+
+/** Scaling knobs so tests/benches can size runs to their budget. */
+struct WorkloadScale
+{
+    /// Multiplier (percent) applied to the profile's iteration count.
+    /// 100 = the profile default.
+    unsigned iterationsPercent = 100;
+
+    /** Convenience: quick runs for unit tests. */
+    static WorkloadScale tiny() { return WorkloadScale{10}; }
+};
+
+/** An application instance ready to execute on @p numProcs threads. */
+class Workload
+{
+  public:
+    /**
+     * @param app_name one of AppTable::allNames()
+     * @param num_procs machine width
+     * @param seed workload seed (architectural; part of the recording)
+     * @param scale run-length scaling
+     */
+    Workload(const std::string &app_name, unsigned num_procs,
+             std::uint64_t seed, WorkloadScale scale = {});
+
+    /**
+     * Build a workload from an arbitrary profile (fuzzing, custom
+     * application models). The profile's name need not be in
+     * AppTable; such recordings cannot be replayed through the
+     * one-argument Replayer::replay overload (pass the workload).
+     */
+    Workload(const AppProfile &profile, unsigned num_procs,
+             std::uint64_t seed, WorkloadScale scale = {});
+
+    /**
+     * Write the architected initial values (lock words free, barrier
+     * counter/generation zero) into @p mem. Must run before execution
+     * and before any replay that starts from the initial state.
+     */
+    void initializeMemory(MemoryState &mem) const;
+
+    const AppProfile &profile() const { return profile_; }
+    const ThreadProgram &program() const { return *program_; }
+    unsigned numProcs() const { return num_procs_; }
+    std::uint64_t seed() const { return seed_; }
+    unsigned iterationsPercent() const { return iterations_percent_; }
+    const std::string &name() const { return profile_.name; }
+
+  private:
+    AppProfile profile_;
+    unsigned num_procs_;
+    std::uint64_t seed_;
+    unsigned iterations_percent_;
+    std::unique_ptr<ThreadProgram> program_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_TRACE_WORKLOAD_HPP_

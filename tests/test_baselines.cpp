@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the FDR / RTR / Strata baseline recorders
+ * (src/baselines), including the Figure 1 worked examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/fdr.hpp"
+#include "baselines/multi_sink.hpp"
+#include "baselines/rtr.hpp"
+#include "baselines/strata.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+AccessRecord
+acc(ProcId p, Addr line, bool write, InstrCount instr,
+    InstrCount memop)
+{
+    AccessRecord r;
+    r.proc = p;
+    r.line = line;
+    r.isWrite = write;
+    r.isRead = !write;
+    r.instrIndex = instr;
+    r.memopIndex = memop;
+    return r;
+}
+
+TEST(Fdr, Figure1aTransitiveReduction)
+{
+    // P1: Wa, Wb; P2: Wb, Ra. The dependence 1:Wa->2:Ra is implied by
+    // 1:Wb->2:Wb (plus program order), so FDR logs only one entry.
+    FdrRecorder fdr(2);
+    fdr.onAccess(acc(0, 'a', true, 1, 0));
+    fdr.onAccess(acc(0, 'b', true, 2, 1));
+    fdr.onAccess(acc(1, 'b', true, 1, 0));
+    fdr.onAccess(acc(1, 'a', false, 2, 1));
+    ASSERT_EQ(fdr.entries().size(), 1u);
+    EXPECT_EQ(fdr.entries()[0].srcProc, 0u);
+    EXPECT_EQ(fdr.entries()[0].srcInstr, 2u);
+    EXPECT_EQ(fdr.entries()[0].dstProc, 1u);
+    EXPECT_EQ(fdr.observedDependences(), 2u);
+}
+
+TEST(Fdr, LogsUnrelatedDependences)
+{
+    FdrRecorder fdr(2);
+    fdr.onAccess(acc(0, 'x', true, 1, 0));
+    fdr.onAccess(acc(1, 'x', false, 1, 0)); // RAW: logged
+    fdr.onAccess(acc(0, 'y', true, 2, 1));
+    fdr.onAccess(acc(1, 'y', false, 5, 1)); // implied? src 2 > seen 1
+    EXPECT_EQ(fdr.entries().size(), 2u);
+}
+
+TEST(Fdr, WarDependencesDetected)
+{
+    FdrRecorder fdr(2);
+    fdr.onAccess(acc(0, 'z', false, 1, 0)); // P0 reads z
+    fdr.onAccess(acc(1, 'z', true, 1, 0));  // P1 writes z: WAR
+    ASSERT_EQ(fdr.entries().size(), 1u);
+    EXPECT_EQ(fdr.entries()[0].srcProc, 0u);
+    EXPECT_EQ(fdr.entries()[0].dstProc, 1u);
+}
+
+TEST(Fdr, SameProcDependencesIgnored)
+{
+    FdrRecorder fdr(2);
+    fdr.onAccess(acc(0, 'q', true, 1, 0));
+    fdr.onAccess(acc(0, 'q', false, 2, 1));
+    EXPECT_TRUE(fdr.entries().empty());
+}
+
+TEST(Fdr, PackedBytesNonEmptyWhenLogged)
+{
+    FdrRecorder fdr(2);
+    fdr.onAccess(acc(0, 'x', true, 1, 0));
+    fdr.onAccess(acc(1, 'x', false, 1, 0));
+    EXPECT_GT(fdr.sizeBits(), 0u);
+    EXPECT_FALSE(fdr.packedBytes().empty());
+}
+
+TEST(Rtr, RegulationSubsumesLaterDependences)
+{
+    // Figure 1(b): P1: Wa, Wb; P2: Ra, Wb. RTR introduces the
+    // artificial dependence from P1's latest instruction, so the
+    // second dependence is implied and only one entry is logged.
+    RtrRecorder rtr(2);
+    rtr.onAccess(acc(0, 'a', true, 1, 0));
+    rtr.onAccess(acc(0, 'b', true, 2, 1));
+    rtr.onAccess(acc(1, 'a', false, 1, 0)); // logged, regulated to 2
+    rtr.onAccess(acc(1, 'b', true, 2, 1));  // implied by regulation
+    rtr.finalize();
+    EXPECT_EQ(rtr.entries().size(), 1u);
+    EXPECT_EQ(rtr.entries()[0].srcInstr, 2u); // regulated source
+}
+
+TEST(Rtr, VectorizesConstantStrideRuns)
+{
+    RtrRecorder rtr(2);
+    // Recurring producer/consumer with constant strides on distinct
+    // lines (so nothing is transitively implied... the regulated
+    // source advances by 10 each time).
+    InstrCount src_i = 10, dst_i = 5;
+    for (int k = 0; k < 6; ++k) {
+        rtr.onAccess(acc(0, 100 + k, true, src_i, src_i));
+        rtr.onAccess(acc(1, 100 + k, false, dst_i, dst_i));
+        src_i += 10;
+        dst_i += 10;
+    }
+    rtr.finalize();
+    ASSERT_EQ(rtr.entries().size(), 6u);
+    // All six collapse into few vectorized entries (first entry
+    // starts the run; stride locks in on the second).
+    EXPECT_LE(rtr.vectorEntries().size(), 2u);
+    EXPECT_LT(rtr.vectorSizeBits(), rtr.sizeBits());
+}
+
+TEST(Strata, Figure1cExample)
+{
+    // P1: Wa, Wb; P2: Wc, Ra, Wb; P3: Rc. Strata are cut before the
+    // second access of each crossing dependence.
+    StrataRecorder strata(3, /*record_war=*/true);
+    strata.onAccess(acc(0, 'a', true, 1, 0));  // 1:Wa
+    strata.onAccess(acc(1, 'c', true, 1, 0));  // 2:Wc
+    strata.onAccess(acc(1, 'a', false, 2, 1)); // 2:Ra -> stratum S0
+    strata.onAccess(acc(2, 'c', false, 1, 0)); // 3:Rc: already crossed
+    strata.onAccess(acc(0, 'b', true, 2, 1));  // 1:Wb
+    strata.onAccess(acc(1, 'b', true, 3, 2));  // 2:Wb -> stratum S1
+    EXPECT_EQ(strata.strataCount(), 2u);
+}
+
+TEST(Strata, IgnoringWarShrinksLog)
+{
+    StrataRecorder with_war(2, true);
+    StrataRecorder no_war(2, false);
+    // WAR-only pattern: P0 reads, P1 writes, repeatedly on fresh lines.
+    for (int k = 0; k < 10; ++k) {
+        const auto rd = acc(0, 500 + k, false, 2 * k + 1, 2 * k);
+        const auto wr = acc(1, 500 + k, true, 2 * k + 1, 2 * k);
+        with_war.onAccess(rd);
+        with_war.onAccess(wr);
+        no_war.onAccess(rd);
+        no_war.onAccess(wr);
+    }
+    EXPECT_GT(with_war.strataCount(), no_war.strataCount());
+    EXPECT_EQ(no_war.strataCount(), 0u);
+}
+
+TEST(Strata, CountersMatchMemopDeltas)
+{
+    StrataRecorder strata(2, true);
+    strata.onAccess(acc(0, 'm', true, 1, 0));
+    strata.onAccess(acc(0, 'n', false, 2, 1));
+    strata.onAccess(acc(1, 'm', false, 1, 0)); // cut: P0=2, P1=0
+    EXPECT_EQ(strata.strataCount(), 1u);
+    EXPECT_EQ(strata.sizeBits(), 2u * 20u);
+}
+
+TEST(MultiSink, FansOut)
+{
+    FdrRecorder a(2);
+    StrataRecorder b(2, true);
+    MultiSink sink;
+    sink.add(&a);
+    sink.add(&b);
+    sink.onAccess(acc(0, 'k', true, 1, 0));
+    sink.onAccess(acc(1, 'k', false, 1, 0));
+    EXPECT_EQ(a.entries().size(), 1u);
+    EXPECT_EQ(b.strataCount(), 1u);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for BitWriter/BitReader (common/bitstream.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(BitStream, EmptyWriter)
+{
+    BitWriter w;
+    EXPECT_EQ(w.bitCount(), 0u);
+    EXPECT_TRUE(w.bytes().empty());
+    BitReader r(w);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, SingleBits)
+{
+    BitWriter w;
+    w.write(1, 1);
+    w.write(0, 1);
+    w.write(1, 1);
+    EXPECT_EQ(w.bitCount(), 3u);
+    BitReader r(w);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_EQ(r.read(1), 0u);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, OddWidthsRoundTrip)
+{
+    BitWriter w;
+    w.write(0b101, 3);
+    w.write(0x155, 9);
+    w.write(0x0FFFFF, 21);
+    w.write(0x3, 4);
+    BitReader r(w);
+    EXPECT_EQ(r.read(3), 0b101u);
+    EXPECT_EQ(r.read(9), 0x155u);
+    EXPECT_EQ(r.read(21), 0x0FFFFFu);
+    EXPECT_EQ(r.read(4), 0x3u);
+}
+
+TEST(BitStream, SixtyFourBitValues)
+{
+    BitWriter w;
+    const std::uint64_t v = 0xDEADBEEFCAFEBABEull;
+    w.write(v, 64);
+    BitReader r(w);
+    EXPECT_EQ(r.read(64), v);
+}
+
+TEST(BitStream, MasksHighBits)
+{
+    BitWriter w;
+    w.write(0xFF, 4); // only low 4 bits should be kept
+    w.write(0x0, 4);
+    BitReader r(w);
+    EXPECT_EQ(r.read(4), 0xFu);
+    EXPECT_EQ(r.read(4), 0x0u);
+}
+
+TEST(BitStream, RemainingCountsDown)
+{
+    BitWriter w;
+    w.write(0xABCD, 16);
+    BitReader r(w);
+    EXPECT_EQ(r.remaining(), 16u);
+    r.read(5);
+    EXPECT_EQ(r.remaining(), 11u);
+    r.read(11);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitStream, ClearResets)
+{
+    BitWriter w;
+    w.write(0xFFFF, 16);
+    w.clear();
+    EXPECT_EQ(w.bitCount(), 0u);
+    w.write(0x1, 1);
+    EXPECT_EQ(w.bitCount(), 1u);
+    EXPECT_EQ(w.bytes()[0], 1u);
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    Xoshiro256ss rng(77);
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> expected;
+    for (int i = 0; i < 5000; ++i) {
+        const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+        const std::uint64_t value =
+            rng.next() & (width == 64 ? ~0ull : ((1ull << width) - 1));
+        w.write(value, width);
+        expected.emplace_back(value, width);
+    }
+    BitReader r(w);
+    for (const auto &[value, width] : expected)
+        ASSERT_EQ(r.read(width), value);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, ByteCountMatchesBits)
+{
+    BitWriter w;
+    w.write(0, 9);
+    EXPECT_EQ(w.bytes().size(), 2u); // 9 bits -> 2 bytes
+    w.write(0, 7);
+    EXPECT_EQ(w.bytes().size(), 2u); // exactly 16 bits
+    w.write(1, 1);
+    EXPECT_EQ(w.bytes().size(), 3u);
+}
+
+} // namespace
+} // namespace delorean

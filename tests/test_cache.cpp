@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the cache models (memory/cache.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(1024, 2); // 16 lines, 8 sets, 2 ways
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, GeometryFromParameters)
+{
+    Cache c(32 * 1024, 4); // Table 5 L1: 1024 lines, 256 sets
+    EXPECT_EQ(c.numSets(), 256u);
+    EXPECT_EQ(c.numWays(), 4u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(1024, 2); // 32 lines, 16 sets, 2 ways
+    // Three lines in the same set (set 0): line = k * numSets.
+    const Addr sets = c.numSets();
+    const Addr a = 0, b = sets, d = 2 * sets;
+    c.access(a);
+    c.access(b);
+    c.access(a);    // a more recent than b
+    c.access(d);    // evicts b
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ContainsDoesNotDisturbLru)
+{
+    Cache c(1024, 2);
+    const Addr sets = c.numSets();
+    const Addr a = 0, b = sets, d = 2 * sets;
+    c.access(a);
+    c.access(b);
+    EXPECT_TRUE(c.contains(a)); // probe only
+    c.access(d);                // should evict a (older than b)
+    EXPECT_FALSE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(1024, 2);
+    c.access(0x42);
+    EXPECT_TRUE(c.invalidate(0x42));
+    EXPECT_FALSE(c.contains(0x42));
+    EXPECT_FALSE(c.invalidate(0x42)); // already gone
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(1024, 2);
+    c.access(1);
+    c.access(1);
+    c.reset();
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, SetIndexIsStable)
+{
+    Cache c(1024, 2); // 16 sets
+    EXPECT_EQ(c.numSets(), 16u);
+    EXPECT_EQ(c.setIndexOf(0), 0u);
+    EXPECT_EQ(c.setIndexOf(15), 15u);
+    EXPECT_EQ(c.setIndexOf(16), 0u);
+    EXPECT_EQ(c.setIndexOf(31), 15u);
+}
+
+TEST(CacheHierarchy, MissFillsBothLevels)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.access(0, 0x123), HitLevel::kMemory);
+    EXPECT_EQ(h.access(0, 0x123), HitLevel::kL1);
+    // Other processor finds it in the shared L2.
+    EXPECT_EQ(h.access(1, 0x123), HitLevel::kL2);
+    EXPECT_EQ(h.access(1, 0x123), HitLevel::kL1);
+}
+
+TEST(CacheHierarchy, ProbeDoesNotFill)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 1;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.probe(0, 0x55), HitLevel::kMemory);
+    EXPECT_EQ(h.access(0, 0x55), HitLevel::kMemory); // still a miss
+}
+
+TEST(CacheHierarchy, InvalidateOthersSparesWriter)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 4;
+    CacheHierarchy h(cfg);
+    for (ProcId p = 0; p < 4; ++p)
+        h.access(p, 0x77);
+    h.invalidateOthers(2, 0x77);
+    EXPECT_EQ(h.probe(2, 0x77), HitLevel::kL1);
+    EXPECT_EQ(h.probe(0, 0x77), HitLevel::kL2); // L1 copy invalidated
+    EXPECT_EQ(h.probe(1, 0x77), HitLevel::kL2);
+    EXPECT_EQ(h.probe(3, 0x77), HitLevel::kL2);
+}
+
+TEST(CacheHierarchy, PolluteWarmsL1)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 1;
+    CacheHierarchy h(cfg);
+    h.pollute(0, 0x99);
+    EXPECT_EQ(h.probe(0, 0x99), HitLevel::kL1);
+}
+
+TEST(CacheHierarchy, ResetEmptiesAll)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    CacheHierarchy h(cfg);
+    h.access(0, 1);
+    h.access(1, 2);
+    h.reset();
+    EXPECT_EQ(h.probe(0, 1), HitLevel::kMemory);
+    EXPECT_EQ(h.probe(1, 2), HitLevel::kMemory);
+}
+
+} // namespace
+} // namespace delorean

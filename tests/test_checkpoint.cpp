@@ -1,0 +1,132 @@
+/**
+ * @file
+ * System checkpointing and interval replay (Appendix B): assuming a
+ * checkpoint was taken at GCC = n, DeLorean deterministically replays
+ * the interval I(n, m).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delorean.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+MachineConfig
+machine(unsigned procs = 4)
+{
+    MachineConfig m;
+    m.numProcs = procs;
+    return m;
+}
+
+ReplayPerturbation
+perturb(std::uint64_t seed)
+{
+    ReplayPerturbation p;
+    p.enabled = true;
+    p.seed = seed;
+    return p;
+}
+
+TEST(Checkpoint, RecordedAtRequestedGccs)
+{
+    Workload w("barnes", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {10, 30});
+    ASSERT_EQ(rec.checkpoints.size(), 2u);
+    EXPECT_EQ(rec.checkpoints[0].gcc, 10u);
+    EXPECT_EQ(rec.checkpoints[1].gcc, 30u);
+    for (const auto &ckpt : rec.checkpoints) {
+        EXPECT_TRUE(ckpt.valid());
+        EXPECT_EQ(ckpt.contexts.size(), 4u);
+        std::uint64_t committed = 0;
+        for (const auto c : ckpt.committedChunks)
+            committed += c;
+        // Chunk commits at the checkpoint == gcc minus DMA commits
+        // (none for SPLASH workloads).
+        EXPECT_EQ(committed, ckpt.gcc);
+    }
+}
+
+TEST(Checkpoint, IntervalReplayFromMidpointIsDeterministic)
+{
+    Workload w("fmm", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {20});
+    ASSERT_EQ(rec.checkpoints.size(), 1u);
+
+    Replayer replayer;
+    const ReplayOutcome out =
+        replayer.replayInterval(rec, 0, w, 77, perturb(3));
+    EXPECT_TRUE(out.deterministicExact);
+    // The interval contains exactly the commits after GCC=20.
+    EXPECT_EQ(out.fingerprint.commits.size(),
+              rec.fingerprint.commits.size() - 20u);
+}
+
+TEST(Checkpoint, IntervalReplayUnderEveryMode)
+{
+    for (const ModeConfig mode :
+         {ModeConfig::orderAndSize(), ModeConfig::orderOnly(),
+          ModeConfig::picoLog()}) {
+        Workload w("radix", 4, 9, WorkloadScale::tiny());
+        Recorder recorder(mode, machine());
+        const Recording rec = recorder.record(w, 1, true, {15});
+        ASSERT_EQ(rec.checkpoints.size(), 1u)
+            << execModeName(mode.mode);
+        Replayer replayer;
+        const ReplayOutcome out =
+            replayer.replayInterval(rec, 0, w, 5, perturb(9));
+        EXPECT_TRUE(out.deterministicExact) << execModeName(mode.mode);
+    }
+}
+
+TEST(Checkpoint, IntervalReplayWithSystemActivity)
+{
+    // Interrupts, I/O and DMA crossing the checkpoint boundary.
+    Workload w("sweb2005", 4, 9, WorkloadScale{30});
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {60});
+    ASSERT_EQ(rec.checkpoints.size(), 1u);
+    ASSERT_GT(rec.io.totalEntries(), 0u);
+    Replayer replayer;
+    const ReplayOutcome out =
+        replayer.replayInterval(rec, 0, w, 13, perturb(21));
+    EXPECT_TRUE(out.deterministicExact);
+}
+
+TEST(Checkpoint, MultipleCheckpointsReplayFromEach)
+{
+    Workload w("water-sp", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {5, 25, 50});
+    ASSERT_EQ(rec.checkpoints.size(), 3u);
+    Replayer replayer;
+    for (std::size_t i = 0; i < rec.checkpoints.size(); ++i) {
+        const ReplayOutcome out =
+            replayer.replayInterval(rec, i, w, 3 + i, perturb(i + 1));
+        EXPECT_TRUE(out.deterministicExact) << "checkpoint " << i;
+    }
+}
+
+TEST(Checkpoint, LaterCheckpointMeansShorterReplay)
+{
+    Workload w("lu", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {5, 60});
+    ASSERT_EQ(rec.checkpoints.size(), 2u);
+    Replayer replayer;
+    const ReplayOutcome early =
+        replayer.replayInterval(rec, 0, w, 3);
+    const ReplayOutcome late = replayer.replayInterval(rec, 1, w, 3);
+    EXPECT_TRUE(early.deterministicExact);
+    EXPECT_TRUE(late.deterministicExact);
+    EXPECT_LT(late.stats.retiredInstrs, early.stats.retiredInstrs);
+    EXPECT_GT(late.fingerprint.commits.size(), 0u);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the CS log (core/cs_log.hpp): Table 5 entry formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cs_log.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(CsLog, OrderOnlyEntryBits)
+{
+    CsLog log(ModeConfig::orderOnly()); // 21 distance + 11 size
+    log.appendTruncation(5, 1234);
+    log.appendTruncation(19, 88);
+    EXPECT_EQ(log.sizeBits(), 2u * 32u);
+}
+
+TEST(CsLog, PicoLogEntryBits)
+{
+    CsLog log(ModeConfig::picoLog()); // 22 distance + 10 size
+    log.appendTruncation(3, 999);
+    EXPECT_EQ(log.sizeBits(), 32u);
+}
+
+TEST(CsLog, OrderAndSizeVariableEncoding)
+{
+    CsLog log(ModeConfig::orderAndSize());
+    log.appendCommittedSize(0, 2000, /*is_max=*/true);  // 1 bit
+    log.appendCommittedSize(1, 731, /*is_max=*/false);  // 12 bits
+    log.appendCommittedSize(2, 2000, /*is_max=*/true);  // 1 bit
+    EXPECT_EQ(log.sizeBits(), 1u + 12u + 1u);
+}
+
+TEST(CsLog, PackedDistanceEncodingRoundTrips)
+{
+    const ModeConfig mode = ModeConfig::orderOnly();
+    CsLog log(mode);
+    const std::vector<std::pair<ChunkSeq, InstrCount>> entries{
+        {7, 1900}, {8, 15}, {100, 512}, {1000, 1}};
+    for (const auto &[seq, size] : entries)
+        log.appendTruncation(seq, size);
+
+    const auto bytes = log.packedBytes();
+    BitReader reader(bytes, log.sizeBits());
+    ChunkSeq last = 0;
+    for (const auto &[seq, size] : entries) {
+        const ChunkSeq distance = reader.read(mode.csDistanceBits);
+        const InstrCount sz = reader.read(mode.csSizeBits);
+        EXPECT_EQ(last + distance, seq);
+        EXPECT_EQ(sz, size);
+        last = seq;
+    }
+}
+
+TEST(CsLog, OrderAndSizePackedRoundTrips)
+{
+    CsLog log(ModeConfig::orderAndSize());
+    log.appendCommittedSize(0, 2000, true);
+    log.appendCommittedSize(1, 345, false);
+    const auto bytes = log.packedBytes();
+    BitReader reader(bytes, log.sizeBits());
+    EXPECT_EQ(reader.read(1), 1u);
+    EXPECT_EQ(reader.read(1), 0u);
+    EXPECT_EQ(reader.read(11), 345u);
+}
+
+TEST(CsLogCursor, AppliesToMatchingSeq)
+{
+    CsLog log(ModeConfig::orderOnly());
+    log.appendTruncation(4, 100);
+    log.appendTruncation(9, 200);
+    CsLogCursor cur(log);
+    EXPECT_FALSE(cur.appliesTo(3));
+    EXPECT_TRUE(cur.appliesTo(4));
+    EXPECT_EQ(cur.peek().size, 100u);
+    cur.consume();
+    EXPECT_TRUE(cur.appliesTo(9));
+    cur.consume();
+    EXPECT_TRUE(cur.atEnd());
+    EXPECT_FALSE(cur.appliesTo(10));
+}
+
+TEST(CsLog, EmptyLogHasZeroBits)
+{
+    CsLog log(ModeConfig::orderOnly());
+    EXPECT_EQ(log.sizeBits(), 0u);
+    EXPECT_TRUE(log.packedBytes().empty());
+}
+
+} // namespace
+} // namespace delorean

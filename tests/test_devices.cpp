@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the environment device models (trace/devices.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/app_profile.hpp"
+#include "trace/devices.hpp"
+#include "trace/layout.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+AppProfile
+commercialProfile()
+{
+    AppProfile p = AppTable::byName("sjbb2k");
+    return p;
+}
+
+TEST(InterruptSource, DisabledForSplashProfiles)
+{
+    InterruptSource src(AppTable::byName("lu"), 4, 1);
+    EXPECT_FALSE(src.enabled());
+    InterruptEvent ev;
+    EXPECT_FALSE(src.poll(0, 1'000'000'000, ev));
+}
+
+TEST(InterruptSource, FiresAroundTheMeanInterval)
+{
+    const AppProfile p = commercialProfile();
+    InterruptSource src(p, 1, 42);
+    ASSERT_TRUE(src.enabled());
+    InstrCount t = 0;
+    unsigned fired = 0;
+    InterruptEvent ev;
+    const InstrCount horizon =
+        static_cast<InstrCount>(p.irqMeanInstrs) * 100;
+    for (; t < horizon; t += 1000)
+        fired += src.poll(0, t, ev);
+    // ~100 intervals expected; allow a wide tolerance.
+    EXPECT_GT(fired, 40u);
+    EXPECT_LT(fired, 220u);
+}
+
+TEST(InterruptSource, AtMostOncePerDueInterval)
+{
+    InterruptSource src(commercialProfile(), 1, 7);
+    InterruptEvent ev;
+    InstrCount t = 1;
+    while (!src.poll(0, t, ev))
+        t += 100;
+    // Immediately after firing, the next poll at the same count must
+    // not fire again.
+    EXPECT_FALSE(src.poll(0, t, ev));
+}
+
+TEST(InterruptSource, DifferentSeedsDifferentTimings)
+{
+    InterruptSource a(commercialProfile(), 1, 1);
+    InterruptSource b(commercialProfile(), 1, 2);
+    InterruptEvent ev;
+    InstrCount ta = 0, tb = 0;
+    while (!a.poll(0, ta, ev))
+        ta += 10;
+    while (!b.poll(0, tb, ev))
+        tb += 10;
+    EXPECT_NE(ta, tb);
+}
+
+TEST(DmaEngine, ProducesBurstsInDmaRegion)
+{
+    const AppProfile p = commercialProfile();
+    DmaEngine dma(p, 3);
+    ASSERT_TRUE(dma.enabled());
+    DmaTransfer xfer;
+    InstrCount t = 0;
+    while (!dma.poll(t, xfer))
+        t += 1000;
+    EXPECT_EQ(xfer.wordAddrs.size(), p.dmaBurstWords);
+    EXPECT_EQ(xfer.values.size(), p.dmaBurstWords);
+    for (const Addr a : xfer.wordAddrs) {
+        EXPECT_GE(a, AddressLayout::kDmaBase);
+        EXPECT_LT(a, AddressLayout::kIoBase);
+    }
+}
+
+TEST(DmaEngine, DisabledForSplash)
+{
+    DmaEngine dma(AppTable::byName("fft"), 3);
+    EXPECT_FALSE(dma.enabled());
+    DmaTransfer xfer;
+    EXPECT_FALSE(dma.poll(1'000'000'000, xfer));
+}
+
+TEST(IoDevice, ValuesDependOnSeedAndPort)
+{
+    IoDevice a(1), b(1), c(2);
+    const std::uint64_t v1 = a.read(0x8000'0000);
+    const std::uint64_t v2 = b.read(0x8000'0000);
+    EXPECT_EQ(v1, v2); // same seed, same sequence
+    EXPECT_NE(v1, c.read(0x8000'0000));
+    EXPECT_NE(a.read(0x8000'0000), v1); // sequence advances
+}
+
+} // namespace
+} // namespace delorean

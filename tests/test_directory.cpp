@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the Directory model (memory/directory.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/directory.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(Directory, TracksSharers)
+{
+    Directory d;
+    EXPECT_EQ(d.sharersOf(10), 0u);
+    d.addSharer(0, 10);
+    d.addSharer(3, 10);
+    EXPECT_EQ(d.sharersOf(10), 0b1001u);
+}
+
+TEST(Directory, CommitWriteInvalidatesOthers)
+{
+    Directory d;
+    d.addSharer(0, 5);
+    d.addSharer(1, 5);
+    d.addSharer(2, 5);
+    const unsigned invalidations = d.commitWrite(1, 5);
+    EXPECT_EQ(invalidations, 2u);
+    EXPECT_EQ(d.sharersOf(5), 0b010u); // only the writer remains
+}
+
+TEST(Directory, CommitWriteOnUnknownLine)
+{
+    Directory d;
+    EXPECT_EQ(d.commitWrite(0, 99), 0u);
+    EXPECT_EQ(d.sharersOf(99), 0b1u);
+}
+
+TEST(Directory, TrafficAccounting)
+{
+    Directory d;
+    d.countLineTransfer();
+    EXPECT_EQ(d.traffic().dataBytes, kLineBytes);
+    EXPECT_EQ(d.traffic().controlBytes, Directory::kControlMsgBytes);
+
+    d.countSignatureMessage(2048);
+    EXPECT_EQ(d.traffic().signatureBytes, 2048u / 8);
+
+    d.countControlMessage();
+    EXPECT_EQ(d.traffic().controlBytes, 2u * Directory::kControlMsgBytes);
+
+    EXPECT_EQ(d.traffic().totalBytes(),
+              d.traffic().dataBytes + d.traffic().controlBytes
+                  + d.traffic().signatureBytes);
+}
+
+TEST(Directory, InvalidationsCountAsControlTraffic)
+{
+    Directory d;
+    d.addSharer(0, 1);
+    d.addSharer(1, 1);
+    d.commitWrite(0, 1); // one invalidation
+    EXPECT_EQ(d.traffic().controlBytes, Directory::kControlMsgBytes);
+}
+
+TEST(Directory, ResetClears)
+{
+    Directory d;
+    d.addSharer(0, 1);
+    d.countLineTransfer();
+    d.reset();
+    EXPECT_EQ(d.sharersOf(1), 0u);
+    EXPECT_EQ(d.traffic().totalBytes(), 0u);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Exceptional-event tests (Table 4): interrupts, I/O and special
+ * system instructions (deterministic truncation), cache-overflow and
+ * collision truncation (non-deterministic, CS-logged), and replay
+ * chunk splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delorean.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+MachineConfig
+machine(unsigned procs = 4)
+{
+    MachineConfig m;
+    m.numProcs = procs;
+    return m;
+}
+
+TEST(EngineEvents, HardInstructionsTruncateDeterministically)
+{
+    // Commercial workloads execute uncached I/O and syscalls; those
+    // truncations are deterministic and must NOT appear in CS logs.
+    Workload w("sweb2005", 4, 11, WorkloadScale{30});
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1);
+    ASSERT_GT(rec.stats.hardTruncations, 0u);
+    std::size_t cs_entries = 0;
+    for (const auto &log : rec.cs)
+        cs_entries += log.entryCount();
+    EXPECT_EQ(cs_entries, rec.stats.overflowTruncations
+                              + rec.stats.collisionTruncations);
+}
+
+TEST(EngineEvents, InterruptChunkIdsAreValid)
+{
+    Workload w("sjbb2k", 4, 11, WorkloadScale{30});
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1);
+    ASSERT_GT(rec.interrupts.totalEntries(), 0u);
+    for (ProcId p = 0; p < 4; ++p) {
+        const auto stream_len = rec.fingerprint.procStream(p).size();
+        ChunkSeq last = 0;
+        bool first = true;
+        for (const auto &e : rec.interrupts.entries(p)) {
+            EXPECT_LE(e.chunkSeq, stream_len); // delivered at boundary
+            if (!first) {
+                EXPECT_GT(e.chunkSeq, last); // strictly ordered
+            }
+            last = e.chunkSeq;
+            first = false;
+        }
+    }
+}
+
+TEST(EngineEvents, IoLogMatchesIoLoadCounts)
+{
+    Workload w("sweb2005", 4, 11, WorkloadScale{30});
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1);
+    // Every committed I/O load logged exactly one value: the log is
+    // dense from index 0 per processor.
+    EXPECT_GT(rec.io.totalEntries(), 0u);
+    Replayer replayer;
+    const ReplayOutcome out = replayer.replay(rec, w, 77);
+    EXPECT_TRUE(out.deterministicExact);
+}
+
+TEST(EngineEvents, OverflowTruncationLogsTruncatedSize)
+{
+    // Force overflow with a tiny L1: many store lines per set.
+    MachineConfig m = machine(2);
+    m.mem.l1SizeBytes = 2048; // 64 lines, 16 sets at 4 ways
+    Workload w("radix", 2, 11, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), m);
+    const Recording rec = recorder.record(w, 1);
+    ASSERT_GT(rec.stats.overflowTruncations, 0u);
+    for (const auto &log : rec.cs)
+        for (const auto &e : log.entries())
+            EXPECT_LT(e.size, 2000u);
+    // And replay still reproduces the execution exactly.
+    Replayer replayer;
+    ReplayPerturbation p;
+    p.enabled = true;
+    p.seed = 5;
+    const ReplayOutcome out = replayer.replay(rec, w, 3, p);
+    EXPECT_TRUE(out.deterministicExact);
+    EXPECT_EQ(out.stats.retiredInstrs, rec.stats.retiredInstrs);
+}
+
+TEST(EngineEvents, ReplayOnSmallerCacheSplitsChunksDeterministically)
+{
+    // The decisive stress for Section 4.2.3's "unexpected overflow
+    // during replay" path: record on the normal machine, then replay
+    // on one whose L1 is 16x smaller. Replay hits speculative-line
+    // overflow at points the recording never saw and must commit the
+    // rest of each affected logical chunk as immediate continuation
+    // pieces — hundreds of times — without losing determinism.
+    MachineConfig m = machine(4);
+    Workload w("radix", 4, 11, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), m);
+    Recording rec = recorder.record(w, 1);
+    rec.machine.mem.l1SizeBytes = 2048; // replay machine differs
+
+    Replayer replayer;
+    std::uint64_t splits = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        ReplayPerturbation p;
+        p.enabled = true;
+        p.seed = seed;
+        const ReplayOutcome out =
+            replayer.replay(rec, w, 200 + seed, p);
+        EXPECT_TRUE(out.deterministicExact) << "seed " << seed;
+        splits += out.stats.replaySplitChunks;
+    }
+    EXPECT_GT(splits, 0u); // the split path genuinely ran
+}
+
+TEST(EngineEvents, PerturbedReplaySameMachineMayAlsoSplit)
+{
+    // Even on the same machine, perturbation can shift the overflow
+    // point of a truncated chunk; determinism must hold regardless of
+    // whether a split occurs.
+    MachineConfig m = machine(4);
+    m.mem.l1SizeBytes = 2048;
+    m.bulk.simultaneousChunks = 4;
+    Workload w("sweb2005", 4, 11, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), m);
+    const Recording rec = recorder.record(w, 1);
+    Replayer replayer;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        ReplayPerturbation p;
+        p.enabled = true;
+        p.seed = seed;
+        p.hitMissSwapPerMille = 100;
+        const ReplayOutcome out =
+            replayer.replay(rec, w, 300 + seed, p);
+        EXPECT_TRUE(out.deterministicExact) << "seed " << seed;
+    }
+}
+
+TEST(EngineEvents, CollisionBackoffEventuallyCommits)
+{
+    // Very contended hot set with small chunks: repeated collisions
+    // engage the back-off and everything still completes and replays.
+    MachineConfig m = machine(4);
+    m.bulk.collisionBackoffThreshold = 2;
+    Workload w("cholesky", 4, 13, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), m);
+    const Recording rec = recorder.record(w, 1);
+    EXPECT_GT(rec.stats.committedChunks, 0u);
+    Replayer replayer;
+    const ReplayOutcome out = replayer.replay(rec, w, 5);
+    EXPECT_TRUE(out.deterministicExact);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for ExecutionFingerprint (core/fingerprint.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fingerprint.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+ExecutionFingerprint
+sample()
+{
+    ExecutionFingerprint fp;
+    fp.commits = {{0, 0, 2000, 11}, {1, 0, 2000, 22}, {0, 1, 1500, 33}};
+    fp.perProcAcc = {111, 222};
+    fp.perProcRetired = {3500, 2000};
+    fp.finalMemHash = 0xDEAD;
+    return fp;
+}
+
+TEST(Fingerprint, ExactMatchOnIdenticalCopies)
+{
+    const auto a = sample();
+    const auto b = sample();
+    EXPECT_TRUE(a.matchesExact(b));
+    EXPECT_TRUE(a.matchesPerProc(b));
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Fingerprint, MemoryHashMismatchFailsBoth)
+{
+    const auto a = sample();
+    auto b = sample();
+    b.finalMemHash = 0xBEEF;
+    EXPECT_FALSE(a.matchesExact(b));
+    EXPECT_FALSE(a.matchesPerProc(b));
+}
+
+TEST(Fingerprint, ReorderedNonConflictingCommitsMatchPerProcOnly)
+{
+    const auto a = sample();
+    auto b = sample();
+    std::swap(b.commits[0], b.commits[1]); // cross-proc reorder
+    EXPECT_FALSE(a.matchesExact(b));
+    EXPECT_TRUE(a.matchesPerProc(b)); // per-proc streams unchanged
+}
+
+TEST(Fingerprint, SameProcReorderFailsPerProc)
+{
+    const auto a = sample();
+    auto b = sample();
+    std::swap(b.commits[0], b.commits[2]); // proc 0's chunks swapped
+    EXPECT_FALSE(a.matchesPerProc(b));
+}
+
+TEST(Fingerprint, ChunkSizeChangeFails)
+{
+    const auto a = sample();
+    auto b = sample();
+    b.commits[2].size = 1501;
+    EXPECT_FALSE(a.matchesExact(b));
+    EXPECT_FALSE(a.matchesPerProc(b));
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Fingerprint, AccChangeFails)
+{
+    const auto a = sample();
+    auto b = sample();
+    b.perProcAcc[1] = 999;
+    EXPECT_FALSE(a.matchesPerProc(b));
+}
+
+TEST(Fingerprint, ProcStreamExtraction)
+{
+    const auto a = sample();
+    const auto s0 = a.procStream(0);
+    ASSERT_EQ(s0.size(), 2u);
+    EXPECT_EQ(s0[0].seq, 0u);
+    EXPECT_EQ(s0[1].seq, 1u);
+    EXPECT_EQ(a.procStream(1).size(), 1u);
+    EXPECT_TRUE(a.procStream(7).empty());
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fuzz-style determinism sweep: random workload profiles far outside
+ * the 13 curated application models, each recorded and replayed under
+ * perturbation in a randomly chosen mode on a randomly shaped machine.
+ * Appendix B's theorem must hold for *every* workload, not just the
+ * evaluated ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delorean.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+AppProfile
+randomProfile(Xoshiro256ss &rng)
+{
+    AppProfile p;
+    p.name = "fuzz";
+    p.iterations = 2 + static_cast<std::uint32_t>(rng.below(5));
+    p.workPerIter =
+        500 + static_cast<std::uint32_t>(rng.below(6000));
+    p.memOpPerMille =
+        100 + static_cast<std::uint32_t>(rng.below(500));
+    p.storePerMille =
+        50 + static_cast<std::uint32_t>(rng.below(450));
+    p.sharedPerMille = static_cast<std::uint32_t>(rng.below(400));
+    p.sharedWords = 1u << (10 + rng.below(8));
+    p.privateWords = 1u << (10 + rng.below(7));
+    p.hotWords = 16 + static_cast<std::uint32_t>(rng.below(512));
+    p.hotPerMille = static_cast<std::uint32_t>(rng.below(300));
+    p.localityPerMille =
+        100 + static_cast<std::uint32_t>(rng.below(880));
+    p.remotePerMille = static_cast<std::uint32_t>(rng.below(600));
+    p.numLocks = 1 + static_cast<std::uint32_t>(rng.below(64));
+    p.lockPerMille = static_cast<std::uint32_t>(rng.below(500));
+    p.csLen = 5 + static_cast<std::uint32_t>(rng.below(120));
+    p.csSharedPerMille =
+        static_cast<std::uint32_t>(rng.below(900));
+    p.barrierEveryIters = static_cast<std::uint32_t>(rng.below(4));
+    p.isCommercial = rng.chancePerMille(400);
+    if (p.isCommercial) {
+        p.ioPerMille = static_cast<std::uint32_t>(rng.below(200));
+        p.syscallPerMille =
+            static_cast<std::uint32_t>(rng.below(300));
+        p.syscallLen = 20 + static_cast<std::uint32_t>(rng.below(200));
+        p.irqMeanInstrs =
+            5000 + static_cast<std::uint32_t>(rng.below(50000));
+        p.dmaMeanInstrs =
+            5000 + static_cast<std::uint32_t>(rng.below(80000));
+        p.dmaBurstWords =
+            8 + static_cast<std::uint32_t>(rng.below(200));
+    }
+    return p;
+}
+
+class FuzzSweep : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzSweep, RandomWorkloadReplaysDeterministically)
+{
+    Xoshiro256ss rng(GetParam());
+    const AppProfile profile = randomProfile(rng);
+
+    MachineConfig machine;
+    machine.numProcs = static_cast<unsigned>(1 + rng.below(8));
+    machine.bulk.simultaneousChunks =
+        static_cast<unsigned>(1 + rng.below(4));
+    machine.bulk.exactDisambiguation = !rng.chancePerMille(250);
+
+    ModeConfig mode;
+    switch (rng.below(4)) {
+      case 0:
+        mode = ModeConfig::orderAndSize();
+        break;
+      case 1:
+        mode = ModeConfig::orderOnly();
+        break;
+      case 2:
+        mode = ModeConfig::orderOnly();
+        mode.stratifyChunksPerProc =
+            static_cast<unsigned>(1 + rng.below(7));
+        break;
+      default:
+        mode = ModeConfig::picoLog();
+        break;
+    }
+    mode.chunkSize = 200 + rng.below(3000);
+
+    Workload w(profile, machine.numProcs, rng.next());
+    Recorder recorder(mode, machine);
+    const Recording rec = recorder.record(w, /*env=*/rng.next());
+    ASSERT_GT(rec.stats.retiredInstrs, 0u);
+
+    ReplayPerturbation perturb;
+    perturb.enabled = true;
+    perturb.seed = rng.next();
+    Replayer replayer;
+    const ReplayOutcome out =
+        replayer.replay(rec, w, /*env=*/rng.next(), perturb);
+    if (rec.stratified())
+        EXPECT_TRUE(out.deterministicPerProc)
+            << "mode=" << execModeName(mode.mode)
+            << " procs=" << machine.numProcs
+            << " chunk=" << mode.chunkSize;
+    else
+        EXPECT_TRUE(out.deterministicExact)
+            << "mode=" << execModeName(mode.mode)
+            << " procs=" << machine.numProcs
+            << " chunk=" << mode.chunkSize;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the input logs (core/input_logs.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/input_logs.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(InterruptLog, PerProcessorEntries)
+{
+    InterruptLog log(2);
+    log.append(0, InterruptRecord{5, 1, 0xAA});
+    log.append(1, InterruptRecord{2, 3, 0xBB});
+    log.append(0, InterruptRecord{9, 0, 0xCC});
+    EXPECT_EQ(log.entries(0).size(), 2u);
+    EXPECT_EQ(log.entries(1).size(), 1u);
+    EXPECT_EQ(log.totalEntries(), 3u);
+    EXPECT_EQ(log.entries(0)[1].data, 0xCCu);
+    EXPECT_GT(log.sizeBits(), 0u);
+}
+
+TEST(InterruptLogCursor, FiresAtLoggedChunk)
+{
+    InterruptLog log(1);
+    log.append(0, InterruptRecord{3, 2, 0x11});
+    log.append(0, InterruptRecord{7, 1, 0x22});
+    InterruptLogCursor cur(log, 0);
+    EXPECT_FALSE(cur.pendingFor(2));
+    ASSERT_TRUE(cur.pendingFor(3));
+    EXPECT_EQ(cur.peek().data, 0x11u);
+    cur.consume();
+    EXPECT_FALSE(cur.pendingFor(3));
+    ASSERT_TRUE(cur.pendingFor(7));
+    cur.consume();
+    EXPECT_FALSE(cur.pendingFor(8));
+}
+
+TEST(IoLog, IndexedByIoLoadCount)
+{
+    IoLog log(2);
+    log.append(0, 0, 100);
+    log.append(0, 1, 101);
+    log.append(1, 0, 200);
+    EXPECT_EQ(log.valueAt(0, 0), 100u);
+    EXPECT_EQ(log.valueAt(0, 1), 101u);
+    EXPECT_EQ(log.valueAt(1, 0), 200u);
+    EXPECT_EQ(log.totalEntries(), 3u);
+    EXPECT_EQ(log.sizeBits(), 3u * 64u);
+}
+
+TEST(IoLog, OutOfRangeThrows)
+{
+    IoLog log(1);
+    log.append(0, 0, 1);
+    EXPECT_THROW(log.valueAt(0, 5), std::out_of_range);
+}
+
+TEST(DmaLog, TransfersWithCommitSlots)
+{
+    DmaLog log;
+    DmaTransfer a;
+    a.wordAddrs = {0x100, 0x108};
+    a.values = {1, 2};
+    log.append(a, 17);
+    DmaTransfer b;
+    b.wordAddrs = {0x200};
+    b.values = {3};
+    log.append(b, 42);
+
+    ASSERT_EQ(log.count(), 2u);
+    EXPECT_EQ(log.transferAt(0).values[1], 2u);
+    EXPECT_EQ(log.slotAt(0), 17u);
+    EXPECT_EQ(log.slotAt(1), 42u);
+    EXPECT_GT(log.sizeBits(), 0u);
+}
+
+} // namespace
+} // namespace delorean

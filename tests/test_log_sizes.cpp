@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the log-size accounting (core/recording.hpp): the metric
+ * the paper's Figures 6-9 are built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delorean.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+Recording
+record(const ModeConfig &mode)
+{
+    MachineConfig m;
+    m.numProcs = 4;
+    Workload w("barnes", 4, 21, WorkloadScale::tiny());
+    return Recorder(mode, m).record(w, 1);
+}
+
+TEST(LogSizes, RawBitsMatchLogContents)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const LogSizeReport sizes = rec.logSizes();
+    EXPECT_EQ(sizes.pi.rawBits, rec.pi.sizeBits());
+    std::uint64_t cs_bits = 0;
+    for (const auto &log : rec.cs)
+        cs_bits += log.sizeBits();
+    EXPECT_EQ(sizes.cs.rawBits, cs_bits);
+    EXPECT_EQ(sizes.retiredInstrs, rec.stats.retiredInstrs);
+}
+
+TEST(LogSizes, BitsPerProcPerKiloInstrFormula)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const LogSizeReport sizes = rec.logSizes();
+    const double expected =
+        static_cast<double>(sizes.pi.rawBits + sizes.cs.rawBits)
+        / (static_cast<double>(rec.stats.retiredInstrs) / 1000.0);
+    EXPECT_DOUBLE_EQ(sizes.bitsPerProcPerKiloInstr(false), expected);
+    EXPECT_DOUBLE_EQ(sizes.piBitsPerProcPerKiloInstr(false)
+                         + sizes.csBitsPerProcPerKiloInstr(false),
+                     expected);
+}
+
+TEST(LogSizes, CompressionNeverBreaksAccounting)
+{
+    const Recording rec = record(ModeConfig::orderAndSize());
+    const LogSizeReport sizes = rec.logSizes();
+    EXPECT_GT(sizes.pi.compressedBits, 0u);
+    // LZ77 worst case is 9/8 expansion on the packed stream.
+    EXPECT_LE(sizes.pi.compressedBits, sizes.pi.rawBits * 9 / 8 + 64);
+}
+
+TEST(LogSizes, PicoLogReportsZeroPi)
+{
+    const Recording rec = record(ModeConfig::picoLog());
+    const LogSizeReport sizes = rec.logSizes();
+    EXPECT_EQ(sizes.pi.rawBits, 0u);
+    EXPECT_EQ(sizes.pi.compressedBits, 0u);
+}
+
+TEST(LogSizes, StratifiedUsesStrataBits)
+{
+    ModeConfig mode = ModeConfig::orderOnly();
+    mode.stratifyChunksPerProc = 1;
+    const Recording rec = record(mode);
+    const LogSizeReport sizes = rec.logSizes();
+    // 1 chunk/proc/stratum at 4 procs: 4 bits per stratum.
+    EXPECT_EQ(sizes.pi.rawBits, rec.strata.size() * 4u);
+}
+
+TEST(LogSizes, OrderOnlySmallerThanRtrReference)
+{
+    // The headline claim: OrderOnly's memory-ordering log is well
+    // under the ~8 bits/proc/kilo-inst Basic RTR reference.
+    const Recording rec = record(ModeConfig::orderOnly());
+    EXPECT_LT(rec.logSizes().bitsPerProcPerKiloInstr(true), 8.0);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for MemoryState (memory/memory_state.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/memory_state.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(MemoryState, UntouchedWordsReadDeterministicDefaults)
+{
+    MemoryState a, b;
+    EXPECT_EQ(a.load(100), b.load(100));
+    EXPECT_EQ(a.load(100), MemoryState::initValue(100));
+    EXPECT_NE(a.load(100), a.load(101));
+}
+
+TEST(MemoryState, StoreThenLoad)
+{
+    MemoryState m;
+    m.store(7, 0xABCDEF);
+    EXPECT_EQ(m.load(7), 0xABCDEFu);
+}
+
+TEST(MemoryState, OverwriteKeepsLatest)
+{
+    MemoryState m;
+    m.store(1, 10);
+    m.store(1, 20);
+    EXPECT_EQ(m.load(1), 20u);
+    EXPECT_EQ(m.population(), 1u);
+}
+
+TEST(MemoryState, StoringDefaultValueFreesStorage)
+{
+    MemoryState m;
+    m.store(5, 123);
+    EXPECT_EQ(m.population(), 1u);
+    m.store(5, MemoryState::initValue(5));
+    EXPECT_EQ(m.population(), 0u);
+    EXPECT_EQ(m.load(5), MemoryState::initValue(5));
+}
+
+TEST(MemoryState, HashEqualForEqualContent)
+{
+    MemoryState a, b;
+    a.store(1, 11);
+    a.store(2, 22);
+    b.store(2, 22);
+    b.store(1, 11); // different order, same content
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(a, b);
+}
+
+TEST(MemoryState, HashDiffersForDifferentContent)
+{
+    MemoryState a, b;
+    a.store(1, 11);
+    b.store(1, 12);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(MemoryState, HashIgnoresRedundantDefaultWrites)
+{
+    MemoryState a, b;
+    a.store(9, MemoryState::initValue(9));
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(MemoryState, SnapshotIsIndependent)
+{
+    MemoryState m;
+    m.store(3, 33);
+    MemoryState snap = m.snapshot();
+    m.store(3, 44);
+    EXPECT_EQ(snap.load(3), 33u);
+    EXPECT_EQ(m.load(3), 44u);
+}
+
+} // namespace
+} // namespace delorean

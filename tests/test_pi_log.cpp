@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the PI log (core/pi_log.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pi_log.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(PiLog, EntryWidthCoversProcsPlusDma)
+{
+    EXPECT_EQ(PiLog(8).entryBits(), 4u);  // 8 procs + DMA = 9 codes
+    EXPECT_EQ(PiLog(4).entryBits(), 3u);  // 5 codes
+    EXPECT_EQ(PiLog(16).entryBits(), 5u); // 17 codes
+    EXPECT_EQ(PiLog(15).entryBits(), 4u); // 16 codes
+}
+
+TEST(PiLog, AppendAndReadBack)
+{
+    PiLog log(8);
+    log.append(3);
+    log.append(kDmaProcId);
+    log.append(0);
+    ASSERT_EQ(log.entryCount(), 3u);
+    EXPECT_EQ(log.entryAt(0), 3u);
+    EXPECT_EQ(log.entryAt(1), kDmaProcId);
+    EXPECT_EQ(log.entryAt(2), 0u);
+}
+
+TEST(PiLog, SizeBitsMatchesEntryCount)
+{
+    PiLog log(8);
+    for (int i = 0; i < 100; ++i)
+        log.append(static_cast<ProcId>(i % 8));
+    EXPECT_EQ(log.sizeBits(), 400u);
+    EXPECT_EQ(log.packedBytes().size(), 50u);
+}
+
+TEST(PiLog, PackedBytesRoundTrip)
+{
+    PiLog log(8);
+    for (int i = 0; i < 37; ++i)
+        log.append(static_cast<ProcId>((i * 5) % 8));
+    const auto bytes = log.packedBytes();
+    BitReader reader(bytes, log.sizeBits());
+    for (std::size_t i = 0; i < log.entryCount(); ++i)
+        EXPECT_EQ(reader.read(log.entryBits()), log.entryAt(i));
+}
+
+TEST(PiLogCursor, WalksInOrder)
+{
+    PiLog log(8);
+    log.append(1);
+    log.append(kDmaProcId);
+    log.append(2);
+    PiLogCursor cur(log);
+    EXPECT_FALSE(cur.atEnd());
+    EXPECT_EQ(cur.peek(), 1u);
+    EXPECT_EQ(cur.next(), 1u);
+    EXPECT_EQ(cur.peek(), kDmaProcId);
+    EXPECT_EQ(cur.next(), kDmaProcId);
+    EXPECT_EQ(cur.next(), 2u);
+    EXPECT_TRUE(cur.atEnd());
+    EXPECT_EQ(cur.position(), 3u);
+}
+
+} // namespace
+} // namespace delorean

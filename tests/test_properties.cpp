@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Property-style parameterized sweeps (TEST_P) over machine
+ * configurations, seeds and widths: invariants that must hold across
+ * the whole parameter space, not just the preferred configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delorean.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+// --------------------------------------------------------------------------
+// Determinism across machine shapes.
+// --------------------------------------------------------------------------
+
+struct MachineCase
+{
+    unsigned procs;
+    unsigned simChunks;
+    InstrCount chunkSize;
+};
+
+class MachineSweep : public testing::TestWithParam<MachineCase>
+{
+};
+
+TEST_P(MachineSweep, ReplayDeterministicForAnyMachineShape)
+{
+    const MachineCase &c = GetParam();
+    MachineConfig machine;
+    machine.numProcs = c.procs;
+    machine.bulk.simultaneousChunks = c.simChunks;
+    ModeConfig mode = ModeConfig::orderOnly();
+    mode.chunkSize = c.chunkSize;
+
+    Workload w("water-ns", c.procs, 99, WorkloadScale::tiny());
+    const Recording rec = Recorder(mode, machine).record(w, 1);
+    ReplayPerturbation perturb;
+    perturb.enabled = true;
+    perturb.seed = 13;
+    const ReplayOutcome out = Replayer().replay(rec, w, 31, perturb);
+    EXPECT_TRUE(out.deterministicExact);
+    EXPECT_GT(rec.stats.committedChunks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MachineSweep,
+    testing::Values(MachineCase{1, 1, 500}, MachineCase{2, 2, 1000},
+                    MachineCase{4, 1, 2000}, MachineCase{4, 4, 500},
+                    MachineCase{8, 2, 3000}, MachineCase{8, 8, 1000},
+                    MachineCase{16, 2, 1000}),
+    [](const testing::TestParamInfo<MachineCase> &info) {
+        return "p" + std::to_string(info.param.procs) + "_s"
+               + std::to_string(info.param.simChunks) + "_c"
+               + std::to_string(info.param.chunkSize);
+    });
+
+// --------------------------------------------------------------------------
+// Workload seeds: recording is a pure function of (workload, env).
+// --------------------------------------------------------------------------
+
+class SeedSweep : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, RecordingIsReproducible)
+{
+    MachineConfig machine;
+    machine.numProcs = 4;
+    Workload w("radiosity", 4, GetParam(), WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine);
+    const Recording a = recorder.record(w, 5);
+    const Recording b = recorder.record(w, 5);
+    EXPECT_TRUE(a.fingerprint.matchesExact(b.fingerprint));
+    EXPECT_EQ(a.pi.entryCount(), b.pi.entryCount());
+    EXPECT_EQ(a.stats.totalCycles, b.stats.totalCycles);
+}
+
+TEST_P(SeedSweep, DifferentWorkloadSeedsDiffer)
+{
+    MachineConfig machine;
+    machine.numProcs = 2;
+    Workload a("radiosity", 2, GetParam(), WorkloadScale::tiny());
+    Workload b("radiosity", 2, GetParam() + 1, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine);
+    EXPECT_NE(recorder.record(a, 5).fingerprint.hash(),
+              recorder.record(b, 5).fingerprint.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         testing::Values(1u, 42u, 1000u, 0xDEADBEEFu));
+
+// --------------------------------------------------------------------------
+// Signature properties across widths and seeds.
+// --------------------------------------------------------------------------
+
+class SignatureSweep : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SignatureSweep, NeverFalseNegative)
+{
+    Xoshiro256ss rng(GetParam());
+    Signature a;
+    std::vector<Addr> lines;
+    for (int i = 0; i < 128; ++i) {
+        const Addr line = rng.next() >> (1 + rng.below(20));
+        lines.push_back(line);
+        a.insert(line);
+    }
+    for (const Addr line : lines)
+        ASSERT_TRUE(a.mayContain(line));
+
+    // Shared line => intersects, regardless of the rest.
+    Signature b;
+    b.insert(lines[static_cast<std::size_t>(rng.below(lines.size()))]);
+    ASSERT_TRUE(a.intersects(b));
+}
+
+TEST_P(SignatureSweep, UnionIsConservative)
+{
+    Xoshiro256ss rng(GetParam() ^ 0x5555);
+    Signature a, b;
+    std::vector<Addr> all;
+    for (int i = 0; i < 50; ++i) {
+        const Addr la = rng.next() >> 10;
+        const Addr lb = rng.next() >> 10;
+        a.insert(la);
+        b.insert(lb);
+        all.push_back(la);
+        all.push_back(lb);
+    }
+    a.unionWith(b);
+    for (const Addr line : all)
+        ASSERT_TRUE(a.mayContain(line));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignatureSweep,
+                         testing::Values(7u, 77u, 777u, 7777u, 77777u));
+
+// --------------------------------------------------------------------------
+// CS distance encoding round-trips for arbitrary truncation patterns.
+// --------------------------------------------------------------------------
+
+class CsSweep : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CsSweep, DistanceEncodingRoundTrips)
+{
+    Xoshiro256ss rng(GetParam());
+    const ModeConfig mode = ModeConfig::picoLog();
+    CsLog log(mode);
+    std::vector<CsEntry> expected;
+    ChunkSeq seq = 0;
+    for (int i = 0; i < 200; ++i) {
+        seq += 1 + rng.below(500);
+        const InstrCount size = 1 + rng.below(mode.chunkSize - 1);
+        log.appendTruncation(seq, size);
+        expected.push_back(CsEntry{seq, size, false});
+    }
+    const auto packed = log.packedBytes();
+    BitReader reader(packed, log.sizeBits());
+    ChunkSeq last = 0;
+    for (const auto &e : expected) {
+        const ChunkSeq got = last + reader.read(mode.csDistanceBits);
+        const InstrCount size = reader.read(mode.csSizeBits);
+        ASSERT_EQ(got, e.seq);
+        ASSERT_EQ(size, e.size);
+        last = got;
+    }
+    EXPECT_TRUE(reader.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsSweep,
+                         testing::Values(11u, 22u, 33u, 44u));
+
+} // namespace
+} // namespace delorean

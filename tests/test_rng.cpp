@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNGs (common/rng.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(SplitMix64, IsDeterministic)
+{
+    std::uint64_t a = 42, b = 42;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(splitMix64(a), splitMix64(b));
+}
+
+TEST(SplitMix64, AdvancesState)
+{
+    std::uint64_t s = 7;
+    const std::uint64_t first = splitMix64(s);
+    const std::uint64_t second = splitMix64(s);
+    EXPECT_NE(first, second);
+}
+
+TEST(Mix64, IsPureFunction)
+{
+    EXPECT_EQ(mix64(123), mix64(123));
+    EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Xoshiro, SameSeedSameSequence)
+{
+    Xoshiro256ss a(99), b(99);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge)
+{
+    Xoshiro256ss a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, CopyPreservesSequence)
+{
+    Xoshiro256ss a(5);
+    for (int i = 0; i < 17; ++i)
+        a.next();
+    Xoshiro256ss b = a; // checkpoint semantics
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, BelowIsInRange)
+{
+    Xoshiro256ss rng(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(37), 37u);
+}
+
+TEST(Xoshiro, RangeIsInclusive)
+{
+    Xoshiro256ss rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(rng.range(10, 13));
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(*seen.begin(), 10u);
+    EXPECT_EQ(*seen.rbegin(), 13u);
+}
+
+TEST(Xoshiro, ChancePerMilleRoughlyCalibrated)
+{
+    Xoshiro256ss rng(8);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.chancePerMille(250);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(Xoshiro, ChanceZeroNeverFires)
+{
+    Xoshiro256ss rng(9);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_FALSE(rng.chancePerMille(0));
+}
+
+TEST(Xoshiro, UniformInUnitInterval)
+{
+    Xoshiro256ss rng(10);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, EqualityComparesState)
+{
+    Xoshiro256ss a(11), b(11);
+    EXPECT_EQ(a, b);
+    a.next();
+    EXPECT_NE(a, b);
+    b.next();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for Bulk-style signatures (signature/signature.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "signature/signature.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(Signature, StartsEmpty)
+{
+    Signature s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.popCount(), 0u);
+}
+
+TEST(Signature, NoFalseNegatives)
+{
+    Signature s;
+    Xoshiro256ss rng(1);
+    std::vector<Addr> lines;
+    for (int i = 0; i < 64; ++i)
+        lines.push_back(rng.next() >> 5);
+    for (const Addr l : lines)
+        s.insert(l);
+    for (const Addr l : lines)
+        EXPECT_TRUE(s.mayContain(l));
+}
+
+TEST(Signature, MostlyRejectsAbsentLines)
+{
+    Signature s;
+    Xoshiro256ss rng(2);
+    for (int i = 0; i < 32; ++i)
+        s.insert(rng.next() >> 5);
+    int false_positives = 0;
+    const int probes = 10000;
+    for (int i = 0; i < probes; ++i)
+        false_positives += s.mayContain(rng.next() | (1ull << 60));
+    // 32 lines * 4 hashes in 2048 bits: FP rate well under 1%.
+    EXPECT_LT(false_positives, probes / 100);
+}
+
+TEST(Signature, IntersectsDetectsSharedLine)
+{
+    Signature a, b;
+    a.insert(0x1000);
+    b.insert(0x2000);
+    EXPECT_FALSE(a.intersects(b));
+    b.insert(0x1000);
+    EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(Signature, IntersectionIsSymmetric)
+{
+    Signature a, b;
+    Xoshiro256ss rng(3);
+    for (int i = 0; i < 20; ++i)
+        a.insert(rng.next() >> 8);
+    for (int i = 0; i < 20; ++i)
+        b.insert(rng.next() >> 8);
+    EXPECT_EQ(a.intersects(b), b.intersects(a));
+}
+
+TEST(Signature, UnionContainsBoth)
+{
+    Signature a, b;
+    a.insert(10);
+    b.insert(20);
+    a.unionWith(b);
+    EXPECT_TRUE(a.mayContain(10));
+    EXPECT_TRUE(a.mayContain(20));
+}
+
+TEST(Signature, ClearEmpties)
+{
+    Signature s;
+    s.insert(123);
+    EXPECT_FALSE(s.empty());
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.popCount(), 0u);
+}
+
+TEST(Signature, PopCountBounded)
+{
+    Signature s;
+    s.insert(42);
+    EXPECT_LE(s.popCount(), Signature::kBanks);
+    EXPECT_GE(s.popCount(), 1u);
+}
+
+TEST(Signature, LocalityKeepsHighBanksSparse)
+{
+    // Bulk-style banked signatures: inserting a run of consecutive
+    // lines sets far fewer bits than random hashing would, because the
+    // high-shift banks advance slowly.
+    Signature s;
+    for (Addr line = 0x8000; line < 0x8000 + 256; ++line)
+        s.insert(line);
+    EXPECT_LT(s.popCount(), 256u + 64 + 16 + 2);
+}
+
+TEST(Signature, DisjointRegionsDoNotConflict)
+{
+    // Chunks touching different address regions (e.g. two processors'
+    // private heaps) must not produce false conflicts.
+    Signature a, b;
+    for (Addr k = 0; k < 200; ++k) {
+        a.insert(0x1000000 + k);
+        b.insert(0x2000000 + k);
+    }
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Signature, EqualityByContent)
+{
+    Signature a, b;
+    a.insert(5);
+    b.insert(5);
+    EXPECT_EQ(a, b);
+    b.insert(6);
+    EXPECT_NE(a, b);
+}
+
+TEST(Signature, SmallerSignaturesHaveMoreFalsePositives)
+{
+    SignatureT<512> small;
+    SignatureT<2048> big;
+    Xoshiro256ss rng(9);
+    std::vector<Addr> inserted;
+    for (int i = 0; i < 48; ++i) {
+        const Addr l = rng.next() >> 4;
+        inserted.push_back(l);
+        small.insert(l);
+        big.insert(l);
+    }
+    int fp_small = 0, fp_big = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr probe = rng.next() | (1ull << 61);
+        fp_small += small.mayContain(probe);
+        fp_big += big.mayContain(probe);
+    }
+    EXPECT_GT(fp_small, fp_big);
+}
+
+TEST(SignaturePair, ConflictsWithWrite)
+{
+    SignaturePair running;
+    running.read.insert(100);
+    running.write.insert(200);
+
+    Signature committing_w;
+    committing_w.insert(300);
+    EXPECT_FALSE(running.conflictsWithWrite(committing_w));
+
+    Signature raw;
+    raw.insert(100); // write hits the running chunk's read set
+    EXPECT_TRUE(running.conflictsWithWrite(raw));
+
+    Signature waw;
+    waw.insert(200); // write hits the running chunk's write set
+    EXPECT_TRUE(running.conflictsWithWrite(waw));
+}
+
+TEST(SignaturePair, ClearBoth)
+{
+    SignaturePair p;
+    p.read.insert(1);
+    p.write.insert(2);
+    p.clear();
+    EXPECT_TRUE(p.read.empty());
+    EXPECT_TRUE(p.write.empty());
+}
+
+} // namespace
+} // namespace delorean

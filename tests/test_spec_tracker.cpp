@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for SpecTracker (chunk/spec_tracker.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chunk/spec_tracker.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(SpecTracker, OverflowAtWayLimit)
+{
+    SpecTracker t(8, 2); // 8 sets, 2 ways
+    // Lines mapping to set 0: multiples of 8.
+    EXPECT_FALSE(t.wouldOverflow(0));
+    t.insert(0);
+    EXPECT_FALSE(t.wouldOverflow(8));
+    t.insert(8);
+    EXPECT_TRUE(t.wouldOverflow(16)); // third line in set 0
+    EXPECT_FALSE(t.wouldOverflow(1)); // different set is fine
+}
+
+TEST(SpecTracker, ExistingLineNeverOverflows)
+{
+    SpecTracker t(8, 1);
+    t.insert(0);
+    EXPECT_TRUE(t.wouldOverflow(8));
+    EXPECT_FALSE(t.wouldOverflow(0)); // already resident
+}
+
+TEST(SpecTracker, RefcountAcrossChunks)
+{
+    SpecTracker t(8, 2);
+    t.insert(0); // chunk A writes line 0
+    t.insert(0); // chunk B also writes line 0
+    EXPECT_EQ(t.setCount(0), 1u);
+    t.remove(0); // chunk A commits
+    EXPECT_EQ(t.setCount(0), 1u); // still held by chunk B
+    t.remove(0); // chunk B commits
+    EXPECT_EQ(t.setCount(0), 0u);
+}
+
+TEST(SpecTracker, RemoveAllReleasesChunkLines)
+{
+    SpecTracker t(16, 2);
+    std::vector<Addr> chunk_lines{0, 16, 5, 21};
+    for (const Addr l : chunk_lines)
+        t.insert(l);
+    EXPECT_EQ(t.distinctLines(), 4u);
+    t.removeAll(chunk_lines);
+    EXPECT_EQ(t.distinctLines(), 0u);
+    EXPECT_EQ(t.setCount(0), 0u);
+    EXPECT_EQ(t.setCount(5), 0u);
+}
+
+TEST(SpecTracker, RemoveUnknownLineIsNoop)
+{
+    SpecTracker t(8, 2);
+    t.remove(123);
+    EXPECT_EQ(t.distinctLines(), 0u);
+}
+
+TEST(SpecTracker, FillFreeFillCycle)
+{
+    SpecTracker t(4, 2);
+    t.insert(0);
+    t.insert(4);
+    EXPECT_TRUE(t.wouldOverflow(8));
+    t.remove(0);
+    EXPECT_FALSE(t.wouldOverflow(8));
+    t.insert(8);
+    EXPECT_TRUE(t.wouldOverflow(12));
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for PI-log stratification (core/stratifier.hpp),
+ * including the Figure 5(a) worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stratifier.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+Signature
+sigOf(Addr line)
+{
+    Signature s;
+    s.insert(line);
+    return s;
+}
+
+TEST(Stratifier, CounterBitsMatchMaximum)
+{
+    EXPECT_EQ(Stratifier(8, 1).counterBits(), 1u);
+    EXPECT_EQ(Stratifier(8, 3).counterBits(), 2u);
+    EXPECT_EQ(Stratifier(8, 7).counterBits(), 3u);
+}
+
+TEST(Stratifier, Figure5Example)
+{
+    // Commit sequence (procIDs): 1, 3, 2, 1, 0, 3, 1, 1 with a
+    // conflict between the chunk from proc 3 (second commit) and the
+    // chunk from proc 0. Counters saturate at 2.
+    Stratifier strat(4, 2);
+    const Addr kConflict = 0xAAA;
+    strat.onCommit(1, sigOf(1));
+    strat.onCommit(3, sigOf(kConflict));
+    strat.onCommit(2, sigOf(3));
+    strat.onCommit(1, sigOf(4));
+    // Proc 0's chunk conflicts with proc 3's SR => stratum S1 cut here.
+    strat.onCommit(0, sigOf(kConflict));
+    strat.onCommit(3, sigOf(6));
+    strat.onCommit(1, sigOf(7));
+    // Proc 1's counter is at 1... add one more to reach the max, then
+    // the next commit for proc 1 forces stratum S2.
+    strat.onCommit(1, sigOf(8));
+    strat.onCommit(1, sigOf(9));
+    strat.finish();
+
+    const auto &strata = strat.strata();
+    ASSERT_EQ(strata.size(), 3u);
+    // S1: procs 0..3 committed {0,2,1,1} chunks.
+    EXPECT_EQ(strata[0].counts, (std::vector<std::uint8_t>{0, 2, 1, 1}));
+    // S2: {1,2,0,1} (proc 0's conflicting chunk + proc 1 twice + p3).
+    EXPECT_EQ(strata[1].counts, (std::vector<std::uint8_t>{1, 2, 0, 1}));
+    // Tail: proc 1's overflow chunk.
+    EXPECT_EQ(strata[2].counts, (std::vector<std::uint8_t>{0, 1, 0, 0}));
+}
+
+TEST(Stratifier, NoConflictsOneStratum)
+{
+    Stratifier strat(4, 7);
+    for (int i = 0; i < 7; ++i)
+        for (ProcId p = 0; p < 4; ++p)
+            strat.onCommit(p, sigOf(0x1000 + p * 64 + i));
+    strat.finish();
+    EXPECT_EQ(strat.strata().size(), 1u);
+}
+
+TEST(Stratifier, SameProcConflictsDontCut)
+{
+    // Within-processor cross-chunk conflicts never cut a stratum:
+    // same-processor chunks serialize by construction.
+    Stratifier strat(2, 7);
+    for (int i = 0; i < 5; ++i)
+        strat.onCommit(0, sigOf(0x42));
+    strat.finish();
+    EXPECT_EQ(strat.strata().size(), 1u);
+}
+
+TEST(Stratifier, DmaCutsAndMarks)
+{
+    Stratifier strat(2, 3);
+    strat.onCommit(0, sigOf(1));
+    strat.onDmaCommit();
+    strat.onCommit(1, sigOf(2));
+    strat.finish();
+    const auto &strata = strat.strata();
+    ASSERT_EQ(strata.size(), 3u);
+    EXPECT_FALSE(strata[0].isDma);
+    EXPECT_TRUE(strata[1].isDma);
+    EXPECT_FALSE(strata[2].isDma);
+}
+
+TEST(Stratifier, SizeBitsFormula)
+{
+    Stratifier strat(8, 1);
+    strat.onCommit(0, sigOf(1));
+    strat.onCommit(0, sigOf(2)); // counter overflow: cut
+    strat.finish();
+    EXPECT_EQ(strat.strata().size(), 2u);
+    EXPECT_EQ(strat.sizeBits(), 2u * 8u * 1u);
+}
+
+TEST(StrataCursor, ConsumesCountsThenAdvances)
+{
+    std::vector<Stratum> strata;
+    strata.push_back(Stratum{{2, 1}, false});
+    strata.push_back(Stratum{{}, true}); // DMA marker
+    strata.push_back(Stratum{{0, 1}, false});
+
+    StrataCursor cur(strata, 2);
+    EXPECT_FALSE(cur.atEnd());
+    EXPECT_EQ(cur.remainingFor(0), 2u);
+    EXPECT_EQ(cur.remainingFor(1), 1u);
+    cur.consume(0);
+    cur.consume(1);
+    EXPECT_FALSE(cur.isDmaSlot());
+    cur.consume(0); // stratum drained -> advances to DMA marker
+    EXPECT_TRUE(cur.isDmaSlot());
+    cur.consumeDma();
+    EXPECT_EQ(cur.remainingFor(1), 1u);
+    cur.consume(1);
+    EXPECT_TRUE(cur.atEnd());
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the timing model (sim/timing_model.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/timing_model.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+MachineConfig cfg;
+
+TEST(TimingModel, ComputeCostIsPositiveAndSubCycle)
+{
+    TimingModel t(cfg, ConsistencyModel::kRC);
+    EXPECT_GT(t.computeCost(), 0.0);
+    EXPECT_LT(t.computeCost(), 1.0); // superscalar
+}
+
+TEST(TimingModel, DeeperMissesCostMore)
+{
+    TimingModel t(cfg, ConsistencyModel::kRC);
+    const double l1 = t.memCost(Op::kLoad, HitLevel::kL1);
+    const double l2 = t.memCost(Op::kLoad, HitLevel::kL2);
+    const double mem = t.memCost(Op::kLoad, HitLevel::kMemory);
+    EXPECT_LT(l1, l2);
+    EXPECT_LT(l2, mem);
+}
+
+TEST(TimingModel, ScStoreMissesCostMoreThanRc)
+{
+    TimingModel rc(cfg, ConsistencyModel::kRC);
+    TimingModel sc(cfg, ConsistencyModel::kSC);
+    EXPECT_GT(sc.memCost(Op::kStore, HitLevel::kMemory),
+              rc.memCost(Op::kStore, HitLevel::kMemory));
+    EXPECT_GT(sc.memCost(Op::kStore, HitLevel::kL2),
+              rc.memCost(Op::kStore, HitLevel::kL2));
+}
+
+TEST(TimingModel, ScAndRcLoadsMatch)
+{
+    TimingModel rc(cfg, ConsistencyModel::kRC);
+    TimingModel sc(cfg, ConsistencyModel::kSC);
+    EXPECT_DOUBLE_EQ(sc.memCost(Op::kLoad, HitLevel::kMemory),
+                     rc.memCost(Op::kLoad, HitLevel::kMemory));
+}
+
+TEST(TimingModel, ChunkedMatchesRc)
+{
+    TimingModel rc(cfg, ConsistencyModel::kRC);
+    TimingModel ch(cfg, ConsistencyModel::kChunked);
+    for (const HitLevel lvl :
+         {HitLevel::kL1, HitLevel::kL2, HitLevel::kMemory}) {
+        EXPECT_DOUBLE_EQ(ch.memCost(Op::kLoad, lvl),
+                         rc.memCost(Op::kLoad, lvl));
+        EXPECT_DOUBLE_EQ(ch.memCost(Op::kStore, lvl),
+                         rc.memCost(Op::kStore, lvl));
+    }
+}
+
+TEST(TimingModel, AmoPaysFullLatencyPlusScDrain)
+{
+    TimingModel rc(cfg, ConsistencyModel::kRC);
+    TimingModel sc(cfg, ConsistencyModel::kSC);
+    EXPECT_GT(rc.memCost(Op::kAmoSwap, HitLevel::kL2),
+              rc.memCost(Op::kLoad, HitLevel::kL2));
+    EXPECT_GT(sc.memCost(Op::kAmoSwap, HitLevel::kL2),
+              rc.memCost(Op::kAmoSwap, HitLevel::kL2));
+}
+
+TEST(TimingModel, UncachedAccessesAreExpensiveEverywhere)
+{
+    TimingModel rc(cfg, ConsistencyModel::kRC);
+    EXPECT_GT(rc.memCost(Op::kIoLoad, HitLevel::kMemory), 300.0);
+    EXPECT_GT(rc.memCost(Op::kIoStore, HitLevel::kL1), 300.0);
+}
+
+} // namespace
+} // namespace delorean

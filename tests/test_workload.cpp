@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for Workload (trace/workload.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/layout.hpp"
+#include "trace/workload.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(Workload, ScalesIterations)
+{
+    Workload full("lu", 4, 1, WorkloadScale{100});
+    Workload tiny("lu", 4, 1, WorkloadScale{10});
+    EXPECT_EQ(tiny.profile().iterations,
+              std::max(1u, full.profile().iterations / 10));
+    EXPECT_EQ(tiny.iterationsPercent(), 10u);
+}
+
+TEST(Workload, ScaleNeverReachesZeroIterations)
+{
+    Workload w("lu", 4, 1, WorkloadScale{1});
+    EXPECT_GE(w.profile().iterations, 1u);
+}
+
+TEST(Workload, InitializeMemoryClearsSyncWords)
+{
+    Workload w("raytrace", 4, 9);
+    MemoryState mem;
+    w.initializeMemory(mem);
+    for (std::uint32_t l = 0; l < w.profile().numLocks; ++l)
+        EXPECT_EQ(mem.load(wordOf(AddressLayout::lockWord(l))), 0u);
+    EXPECT_EQ(mem.load(wordOf(AddressLayout::barrierCount())), 0u);
+    EXPECT_EQ(mem.load(wordOf(AddressLayout::barrierGen())), 0u);
+}
+
+TEST(Workload, ExposesSeedAndName)
+{
+    Workload w("fft", 8, 777);
+    EXPECT_EQ(w.seed(), 777u);
+    EXPECT_EQ(w.name(), "fft");
+    EXPECT_EQ(w.numProcs(), 8u);
+}
+
+TEST(AddressLayout, RegionsAreDisjointAndClassified)
+{
+    const Addr s = AddressLayout::sharedWord(10);
+    const Addr p = AddressLayout::privateWord(3, 10);
+    const Addr io = AddressLayout::ioPort(2);
+    EXPECT_TRUE(AddressLayout::isShared(s));
+    EXPECT_FALSE(AddressLayout::isShared(p));
+    EXPECT_TRUE(AddressLayout::isPrivate(p));
+    EXPECT_TRUE(AddressLayout::isUncached(io));
+    EXPECT_FALSE(AddressLayout::isUncached(s));
+}
+
+TEST(AddressLayout, LocksOnDistinctLines)
+{
+    EXPECT_NE(lineOf(AddressLayout::lockWord(0)),
+              lineOf(AddressLayout::lockWord(1)));
+    EXPECT_NE(lineOf(AddressLayout::barrierCount()),
+              lineOf(AddressLayout::barrierGen()));
+}
+
+TEST(AddressLayout, PrivateSegmentsWithinBitsetRange)
+{
+    // 8 KB segments over the per-processor span must fit in the
+    // context's 2048-entry segment bitset.
+    const Addr last =
+        AddressLayout::privateWord(0, 0) + AddressLayout::kPrivateSpan - 8;
+    EXPECT_LT(AddressLayout::privateSegment(last), 2048u);
+}
+
+} // namespace
+} // namespace delorean

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * delorean_sim — command-line driver for the simulator.
+ *
+ * Usage:
+ *   delorean_sim record  <app> [options] -o rec.bin
+ *   delorean_sim replay  rec.bin [options]
+ *   delorean_sim inspect rec.bin
+ *   delorean_sim compare <app> [options]        # RC vs SC vs modes
+ *
+ * Options:
+ *   --mode order_size|order_only|picolog   (default order_only)
+ *   --procs N        processor count        (default 8)
+ *   --chunk N        standard chunk size    (default per mode)
+ *   --scale P        iterations percent     (default 50)
+ *   --seed S         workload seed          (default 1)
+ *   --env S          environment seed       (default 1)
+ *   --stratify N     chunks/proc/stratum    (default off)
+ *   --perturb        enable replay perturbation
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/delorean.hpp"
+#include "core/serialize.hpp"
+
+using namespace delorean;
+
+namespace
+{
+
+struct Args
+{
+    std::string command;
+    std::string app = "barnes";
+    std::string file;
+    std::string mode = "order_only";
+    unsigned procs = 8;
+    InstrCount chunk = 0;
+    unsigned scale = 50;
+    std::uint64_t seed = 1;
+    std::uint64_t env = 1;
+    unsigned stratify = 0;
+    bool perturb = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: delorean_sim record <app> [--mode M] [--procs N]"
+                 " [--chunk N] [--scale P] [--seed S] [--env S]"
+                 " [--stratify N] [-o FILE]\n"
+                 "       delorean_sim replay <FILE> [--env S] [--perturb]\n"
+                 "       delorean_sim inspect <FILE>\n"
+                 "       delorean_sim compare <app> [--procs N] [--scale P]\n"
+                 "apps: ");
+    for (const auto &name : AppTable::allNames())
+        std::fprintf(stderr, "%s ", name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+ModeConfig
+modeFor(const Args &args)
+{
+    ModeConfig mode;
+    if (args.mode == "order_size")
+        mode = ModeConfig::orderAndSize();
+    else if (args.mode == "order_only")
+        mode = ModeConfig::orderOnly();
+    else if (args.mode == "picolog")
+        mode = ModeConfig::picoLog();
+    else
+        usage();
+    if (args.chunk)
+        mode.chunkSize = args.chunk;
+    mode.stratifyChunksPerProc = args.stratify;
+    return mode;
+}
+
+Args
+parse(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    Args args;
+    args.command = argv[1];
+    if (args.command == "record" || args.command == "compare")
+        args.app = argv[2];
+    else
+        args.file = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (flag == "--mode")
+            args.mode = next();
+        else if (flag == "--procs")
+            args.procs = static_cast<unsigned>(std::atoi(next()));
+        else if (flag == "--chunk")
+            args.chunk = static_cast<InstrCount>(std::atoll(next()));
+        else if (flag == "--scale")
+            args.scale = static_cast<unsigned>(std::atoi(next()));
+        else if (flag == "--seed")
+            args.seed = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--env")
+            args.env = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--stratify")
+            args.stratify = static_cast<unsigned>(std::atoi(next()));
+        else if (flag == "-o")
+            args.file = next();
+        else if (flag == "--perturb")
+            args.perturb = true;
+        else
+            usage();
+    }
+    return args;
+}
+
+void
+printStats(const EngineStats &stats)
+{
+    std::printf("  cycles:           %llu\n",
+                static_cast<unsigned long long>(stats.totalCycles));
+    std::printf("  retired instrs:   %llu (executed %llu)\n",
+                static_cast<unsigned long long>(stats.retiredInstrs),
+                static_cast<unsigned long long>(stats.executedInstrs));
+    std::printf("  chunk commits:    %llu\n",
+                static_cast<unsigned long long>(stats.committedChunks));
+    std::printf("  squashes:         %llu\n",
+                static_cast<unsigned long long>(stats.squashes));
+    std::printf("  truncations:      %llu overflow, %llu collision, "
+                "%llu hard\n",
+                static_cast<unsigned long long>(
+                    stats.overflowTruncations),
+                static_cast<unsigned long long>(
+                    stats.collisionTruncations),
+                static_cast<unsigned long long>(stats.hardTruncations));
+    std::printf("  stall fraction:   %.2f%%\n",
+                100.0 * stats.stallFraction());
+}
+
+int
+cmdRecord(const Args &args)
+{
+    MachineConfig machine;
+    machine.numProcs = args.procs;
+    Workload workload(args.app, args.procs, args.seed,
+                      WorkloadScale{args.scale});
+    Recorder recorder(modeFor(args), machine);
+    const Recording rec = recorder.record(workload, args.env);
+
+    std::printf("recorded %s in %s mode:\n", args.app.c_str(),
+                execModeName(rec.mode.mode));
+    printStats(rec.stats);
+    const LogSizeReport sizes = rec.logSizes();
+    std::printf("  ordering log:     %.3f bits/proc/kilo-inst "
+                "(%.3f compressed)\n",
+                sizes.bitsPerProcPerKiloInstr(false),
+                sizes.bitsPerProcPerKiloInstr(true));
+    if (!args.file.empty()) {
+        saveRecordingFile(rec, args.file);
+        std::printf("  saved to:         %s\n", args.file.c_str());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    const Recording rec = loadRecordingFile(args.file);
+    std::printf("replaying %s (%s, %u procs, seed %llu)...\n",
+                rec.appName.c_str(), execModeName(rec.mode.mode),
+                rec.machine.numProcs,
+                static_cast<unsigned long long>(rec.workloadSeed));
+    ReplayPerturbation perturb;
+    perturb.enabled = args.perturb;
+    perturb.seed = args.env ^ 0xDEAD;
+    const ReplayOutcome out = Replayer().replay(rec, args.env, perturb);
+    printStats(out.stats);
+    std::printf("  deterministic:    %s\n",
+                out.deterministicExact
+                    ? "yes (exact interleaving)"
+                    : (out.deterministicPerProc ? "per-processor"
+                                                : "NO — DIVERGED"));
+    return out.deterministicPerProc ? 0 : 1;
+}
+
+int
+cmdInspect(const Args &args)
+{
+    const Recording rec = loadRecordingFile(args.file);
+    std::printf("recording: %s, %s mode, %u procs, chunk %llu, "
+                "workload seed %llu\n",
+                rec.appName.c_str(), execModeName(rec.mode.mode),
+                rec.machine.numProcs,
+                static_cast<unsigned long long>(rec.mode.chunkSize),
+                static_cast<unsigned long long>(rec.workloadSeed));
+    printStats(rec.stats);
+    std::size_t cs_entries = 0;
+    for (const auto &log : rec.cs)
+        cs_entries += log.entryCount();
+    std::printf("  PI entries:       %zu (%zu strata)\n",
+                rec.pi.entryCount(), rec.strata.size());
+    std::printf("  CS entries:       %zu\n", cs_entries);
+    std::printf("  interrupts:       %zu\n",
+                rec.interrupts.totalEntries());
+    std::printf("  I/O loads:        %zu\n", rec.io.totalEntries());
+    std::printf("  DMA transfers:    %zu\n", rec.dma.count());
+    std::printf("  checkpoints:      %zu\n", rec.checkpoints.size());
+    std::printf("  first commits:    ");
+    for (std::size_t i = 0; i < 16 && i < rec.pi.entryCount(); ++i) {
+        const ProcId p = rec.pi.entryAt(i);
+        if (p == kDmaProcId)
+            std::printf("DMA ");
+        else
+            std::printf("P%u ", p);
+    }
+    std::printf("...\n");
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    MachineConfig machine;
+    machine.numProcs = args.procs;
+    Workload workload(args.app, args.procs, args.seed,
+                      WorkloadScale{args.scale});
+
+    InterleavedExecutor rc(machine, ConsistencyModel::kRC);
+    InterleavedExecutor sc(machine, ConsistencyModel::kSC);
+    const double rc_cycles =
+        static_cast<double>(rc.run(workload, args.env).cycles);
+    const double sc_cycles =
+        static_cast<double>(sc.run(workload, args.env).cycles);
+
+    std::printf("%s on %u procs (speedup vs RC):\n", args.app.c_str(),
+                args.procs);
+    std::printf("  %-12s %6.2f\n", "RC", 1.0);
+    std::printf("  %-12s %6.2f\n", "SC", rc_cycles / sc_cycles);
+    for (const ModeConfig mode :
+         {ModeConfig::orderAndSize(), ModeConfig::orderOnly(),
+          ModeConfig::picoLog()}) {
+        Recorder recorder(mode, machine);
+        const Recording rec = recorder.record(workload, args.env);
+        std::printf("  %-12s %6.2f  (log %.3f bits/proc/kilo-inst)\n",
+                    execModeName(mode.mode),
+                    rc_cycles
+                        / static_cast<double>(rec.stats.totalCycles),
+                    rec.logSizes().bitsPerProcPerKiloInstr(true));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    try {
+        if (args.command == "record")
+            return cmdRecord(args);
+        if (args.command == "replay")
+            return cmdReplay(args);
+        if (args.command == "inspect")
+            return cmdInspect(args);
+        if (args.command == "compare")
+            return cmdCompare(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+}
