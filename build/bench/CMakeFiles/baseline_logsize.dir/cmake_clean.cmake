@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_logsize.dir/baseline_logsize.cpp.o"
+  "CMakeFiles/baseline_logsize.dir/baseline_logsize.cpp.o.d"
+  "baseline_logsize"
+  "baseline_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_replay_speed.dir/fig11_replay_speed.cpp.o"
+  "CMakeFiles/fig11_replay_speed.dir/fig11_replay_speed.cpp.o.d"
+  "fig11_replay_speed"
+  "fig11_replay_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_replay_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

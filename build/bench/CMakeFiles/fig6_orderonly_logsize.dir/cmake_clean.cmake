@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_orderonly_logsize.dir/fig6_orderonly_logsize.cpp.o"
+  "CMakeFiles/fig6_orderonly_logsize.dir/fig6_orderonly_logsize.cpp.o.d"
+  "fig6_orderonly_logsize"
+  "fig6_orderonly_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_orderonly_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

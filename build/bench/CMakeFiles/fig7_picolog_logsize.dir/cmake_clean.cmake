@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_picolog_logsize.dir/fig7_picolog_logsize.cpp.o"
+  "CMakeFiles/fig7_picolog_logsize.dir/fig7_picolog_logsize.cpp.o.d"
+  "fig7_picolog_logsize"
+  "fig7_picolog_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_picolog_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ordersize_logsize.dir/fig8_ordersize_logsize.cpp.o"
+  "CMakeFiles/fig8_ordersize_logsize.dir/fig8_ordersize_logsize.cpp.o.d"
+  "fig8_ordersize_logsize"
+  "fig8_ordersize_logsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ordersize_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

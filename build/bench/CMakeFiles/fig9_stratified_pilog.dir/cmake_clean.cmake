@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stratified_pilog.dir/fig9_stratified_pilog.cpp.o"
+  "CMakeFiles/fig9_stratified_pilog.dir/fig9_stratified_pilog.cpp.o.d"
+  "fig9_stratified_pilog"
+  "fig9_stratified_pilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stratified_pilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_picolog_charact.dir/table6_picolog_charact.cpp.o"
+  "CMakeFiles/table6_picolog_charact.dir/table6_picolog_charact.cpp.o.d"
+  "table6_picolog_charact"
+  "table6_picolog_charact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_picolog_charact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

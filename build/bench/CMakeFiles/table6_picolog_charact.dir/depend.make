@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_picolog_charact.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_replay.dir/interval_replay.cpp.o"
+  "CMakeFiles/interval_replay.dir/interval_replay.cpp.o.d"
+  "interval_replay"
+  "interval_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_tradeoffs.dir/mode_tradeoffs.cpp.o"
+  "CMakeFiles/mode_tradeoffs.dir/mode_tradeoffs.cpp.o.d"
+  "mode_tradeoffs"
+  "mode_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

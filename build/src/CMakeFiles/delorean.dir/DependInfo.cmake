@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fdr.cpp" "src/CMakeFiles/delorean.dir/baselines/fdr.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/baselines/fdr.cpp.o.d"
+  "/root/repo/src/baselines/rtr.cpp" "src/CMakeFiles/delorean.dir/baselines/rtr.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/baselines/rtr.cpp.o.d"
+  "/root/repo/src/baselines/strata.cpp" "src/CMakeFiles/delorean.dir/baselines/strata.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/baselines/strata.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/delorean.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/common/config.cpp.o.d"
+  "/root/repo/src/compress/lz77.cpp" "src/CMakeFiles/delorean.dir/compress/lz77.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/compress/lz77.cpp.o.d"
+  "/root/repo/src/core/cs_log.cpp" "src/CMakeFiles/delorean.dir/core/cs_log.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/core/cs_log.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/delorean.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/pi_log.cpp" "src/CMakeFiles/delorean.dir/core/pi_log.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/core/pi_log.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/delorean.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/stratifier.cpp" "src/CMakeFiles/delorean.dir/core/stratifier.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/core/stratifier.cpp.o.d"
+  "/root/repo/src/memory/cache.cpp" "src/CMakeFiles/delorean.dir/memory/cache.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/memory/cache.cpp.o.d"
+  "/root/repo/src/sim/interleaved_executor.cpp" "src/CMakeFiles/delorean.dir/sim/interleaved_executor.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/sim/interleaved_executor.cpp.o.d"
+  "/root/repo/src/trace/app_profile.cpp" "src/CMakeFiles/delorean.dir/trace/app_profile.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/trace/app_profile.cpp.o.d"
+  "/root/repo/src/trace/devices.cpp" "src/CMakeFiles/delorean.dir/trace/devices.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/trace/devices.cpp.o.d"
+  "/root/repo/src/trace/thread_program.cpp" "src/CMakeFiles/delorean.dir/trace/thread_program.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/trace/thread_program.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "src/CMakeFiles/delorean.dir/trace/workload.cpp.o" "gcc" "src/CMakeFiles/delorean.dir/trace/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

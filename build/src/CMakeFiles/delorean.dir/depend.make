@@ -1,0 +1,2 @@
+# Empty dependencies file for delorean.
+# This may be replaced when dependencies are built.

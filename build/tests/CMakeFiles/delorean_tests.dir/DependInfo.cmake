@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/delorean_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bitstream.cpp" "tests/CMakeFiles/delorean_tests.dir/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_bitstream.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/delorean_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/delorean_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_cs_log.cpp" "tests/CMakeFiles/delorean_tests.dir/test_cs_log.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_cs_log.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/delorean_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_directory.cpp" "tests/CMakeFiles/delorean_tests.dir/test_directory.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_directory.cpp.o.d"
+  "/root/repo/tests/test_engine_events.cpp" "tests/CMakeFiles/delorean_tests.dir/test_engine_events.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_engine_events.cpp.o.d"
+  "/root/repo/tests/test_engine_modes.cpp" "tests/CMakeFiles/delorean_tests.dir/test_engine_modes.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_engine_modes.cpp.o.d"
+  "/root/repo/tests/test_engine_record.cpp" "tests/CMakeFiles/delorean_tests.dir/test_engine_record.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_engine_record.cpp.o.d"
+  "/root/repo/tests/test_engine_replay.cpp" "tests/CMakeFiles/delorean_tests.dir/test_engine_replay.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_engine_replay.cpp.o.d"
+  "/root/repo/tests/test_fingerprint.cpp" "tests/CMakeFiles/delorean_tests.dir/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/test_fuzz_determinism.cpp" "tests/CMakeFiles/delorean_tests.dir/test_fuzz_determinism.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_fuzz_determinism.cpp.o.d"
+  "/root/repo/tests/test_input_logs.cpp" "tests/CMakeFiles/delorean_tests.dir/test_input_logs.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_input_logs.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/delorean_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interleaved_executor.cpp" "tests/CMakeFiles/delorean_tests.dir/test_interleaved_executor.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_interleaved_executor.cpp.o.d"
+  "/root/repo/tests/test_log_sizes.cpp" "tests/CMakeFiles/delorean_tests.dir/test_log_sizes.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_log_sizes.cpp.o.d"
+  "/root/repo/tests/test_lz77.cpp" "tests/CMakeFiles/delorean_tests.dir/test_lz77.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_lz77.cpp.o.d"
+  "/root/repo/tests/test_memory_state.cpp" "tests/CMakeFiles/delorean_tests.dir/test_memory_state.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_memory_state.cpp.o.d"
+  "/root/repo/tests/test_pi_log.cpp" "tests/CMakeFiles/delorean_tests.dir/test_pi_log.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_pi_log.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/delorean_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/delorean_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/delorean_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_signature.cpp" "tests/CMakeFiles/delorean_tests.dir/test_signature.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_signature.cpp.o.d"
+  "/root/repo/tests/test_spec_tracker.cpp" "tests/CMakeFiles/delorean_tests.dir/test_spec_tracker.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_spec_tracker.cpp.o.d"
+  "/root/repo/tests/test_stratifier.cpp" "tests/CMakeFiles/delorean_tests.dir/test_stratifier.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_stratifier.cpp.o.d"
+  "/root/repo/tests/test_thread_program.cpp" "tests/CMakeFiles/delorean_tests.dir/test_thread_program.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_thread_program.cpp.o.d"
+  "/root/repo/tests/test_timing_model.cpp" "tests/CMakeFiles/delorean_tests.dir/test_timing_model.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_timing_model.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/delorean_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/delorean_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/delorean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

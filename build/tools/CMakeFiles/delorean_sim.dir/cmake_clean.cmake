@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delorean_sim.dir/delorean_sim.cpp.o"
+  "CMakeFiles/delorean_sim.dir/delorean_sim.cpp.o.d"
+  "delorean_sim"
+  "delorean_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delorean_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
