@@ -15,6 +15,17 @@
 using namespace delorean;
 using namespace delorean_bench;
 
+namespace
+{
+
+struct Cell
+{
+    std::uint64_t squashes = 0;
+    std::uint64_t cycles = 0;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -25,40 +36,52 @@ main()
 
     const unsigned scale = benchScale(25);
     const std::vector<InstrCount> chunk_sizes{1000, 2000, 3000};
+    const std::vector<std::string> apps{"barnes", "radix", "raytrace",
+                                        "sjbb2k"};
+
+    BenchCampaign campaign("ablation_disambiguation");
+    std::vector<std::function<Cell()>> tasks;
+    for (const auto &app : apps) {
+        for (const InstrCount cs : chunk_sizes) {
+            for (const bool exact : {true, false}) {
+                tasks.push_back([&campaign, app, cs, exact, scale] {
+                    ModeConfig mode = ModeConfig::orderOnly();
+                    mode.chunkSize = cs;
+                    MachineConfig machine;
+                    machine.bulk.exactDisambiguation = exact;
+
+                    RecordJob job;
+                    job.app = app;
+                    job.workloadSeed = kSeed;
+                    job.scalePercent = scale;
+                    job.machine = machine;
+                    job.mode = mode;
+                    const Recording &rec = campaign.record(job);
+                    return Cell{rec.stats.squashes,
+                                rec.stats.totalCycles};
+                });
+            }
+        }
+    }
+    const std::vector<Cell> cells = campaign.map(std::move(tasks));
 
     std::printf("%-10s %6s | %10s %10s | %10s %10s  (squashes | "
                 "speed vs exact)\n",
                 "app", "chunk", "exact-sq", "sig-sq", "exact-cyc",
                 "sig-cyc");
 
-    for (const char *app : {"barnes", "radix", "raytrace", "sjbb2k"}) {
+    std::size_t idx = 0;
+    for (const auto &app : apps) {
         for (const InstrCount cs : chunk_sizes) {
-            ModeConfig mode = ModeConfig::orderOnly();
-            mode.chunkSize = cs;
-
-            MachineConfig exact;
-            exact.bulk.exactDisambiguation = true;
-            MachineConfig bloom;
-            bloom.bulk.exactDisambiguation = false;
-
-            Workload w(std::string(app), exact.numProcs, kSeed,
-                       WorkloadScale{scale});
-            const Recording a =
-                Recorder(mode, exact).record(w, 1);
-            const Recording b =
-                Recorder(mode, bloom).record(w, 1);
-
+            const Cell &a = cells[idx++]; // exact
+            const Cell &b = cells[idx++]; // signatures
             std::printf("%-10s %6llu | %10llu %10llu | %10llu %10llu\n",
-                        app,
+                        app.c_str(),
                         static_cast<unsigned long long>(cs),
-                        static_cast<unsigned long long>(
-                            a.stats.squashes),
-                        static_cast<unsigned long long>(
-                            b.stats.squashes),
-                        static_cast<unsigned long long>(
-                            a.stats.totalCycles),
-                        static_cast<unsigned long long>(
-                            b.stats.totalCycles));
+                        static_cast<unsigned long long>(a.squashes),
+                        static_cast<unsigned long long>(b.squashes),
+                        static_cast<unsigned long long>(a.cycles),
+                        static_cast<unsigned long long>(b.cycles));
         }
     }
     return 0;

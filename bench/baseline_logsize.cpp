@@ -22,6 +22,26 @@
 using namespace delorean;
 using namespace delorean_bench;
 
+namespace
+{
+
+/** SC run with the three conventional recorders attached. */
+struct ScRow
+{
+    double fdrBits = 0;
+    double rtrBits = 0;
+    double strataBits = 0;
+};
+
+/** One DeLorean mode's compressed log size. */
+struct ModeRow
+{
+    double bits = 0;
+    double bytesPerMops = 0;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -32,7 +52,85 @@ main()
 
     const unsigned scale = benchScale(15);
     const MachineConfig machine;
-    const Lz77 codec;
+    const std::vector<std::string> apps = AppTable::allNames();
+
+    ModeConfig strat = ModeConfig::orderOnly();
+    strat.stratifyChunksPerProc = 1;
+    const std::vector<ModeConfig> modes{ModeConfig::orderOnly(), strat,
+                                        ModeConfig::picoLog()};
+
+    BenchCampaign campaign("baseline_logsize");
+
+    std::vector<ScRow> sc_rows(apps.size());
+    std::vector<std::vector<ModeRow>> mode_rows(
+        apps.size(), std::vector<ModeRow>(modes.size()));
+    {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+            const std::string &app = apps[ai];
+            // Conventional recorders observe the SC machine's access
+            // order.
+            tasks.push_back([&campaign, &machine, &sc_rows, app, ai,
+                             scale] {
+                Workload w(app, machine.numProcs, kSeed,
+                           WorkloadScale{scale});
+                FdrRecorder fdr(machine.numProcs);
+                RtrRecorder rtr(machine.numProcs);
+                StrataRecorder strata(machine.numProcs,
+                                      /*record_war=*/false);
+                MultiSink sinks;
+                sinks.add(&fdr);
+                sinks.add(&rtr);
+                sinks.add(&strata);
+                InterleavedExecutor sc_exec(machine,
+                                            ConsistencyModel::kSC);
+                const InterleavedResult sc = sc_exec.run(w, 1, &sinks);
+                rtr.finalize();
+                campaign.addSim(sc.cycles, sc.totalInstrs);
+
+                const Lz77 codec;
+                const double kinst =
+                    static_cast<double>(sc.totalInstrs) / 1000.0;
+                sc_rows[ai].fdrBits =
+                    static_cast<double>(
+                        codec.compressedBits(fdr.packedBytes()))
+                    / kinst;
+                sc_rows[ai].rtrBits =
+                    static_cast<double>(
+                        codec.compressedBits(rtr.vectorPackedBytes()))
+                    / kinst;
+                sc_rows[ai].strataBits =
+                    static_cast<double>(
+                        codec.compressedBits(strata.packedBytes()))
+                    / kinst;
+            });
+            for (std::size_t mi = 0; mi < modes.size(); ++mi) {
+                tasks.push_back([&campaign, &machine, &mode_rows,
+                                 mode = modes[mi], app, ai, mi, scale] {
+                    RecordJob job;
+                    job.app = app;
+                    job.workloadSeed = kSeed;
+                    job.scalePercent = scale;
+                    job.machine = machine;
+                    job.mode = mode;
+                    const Recording &rec = campaign.record(job);
+                    const LogSizeReport sizes = rec.logSizes();
+                    const double bits_per_kinst =
+                        sizes.bitsPerProcPerKiloInstr(true);
+                    // bits/proc/kilo-inst -> bytes/proc/M memory ops,
+                    // using the profile's memory-op density.
+                    Workload w(app, machine.numProcs, kSeed,
+                               WorkloadScale{scale});
+                    const double memop_ratio =
+                        w.profile().memOpPerMille / 1000.0;
+                    mode_rows[ai][mi] =
+                        ModeRow{bits_per_kinst,
+                                bits_per_kinst * 125.0 / memop_ratio};
+                });
+            }
+        }
+        campaign.run(std::move(tasks));
+    }
 
     std::printf("%-10s | %8s %8s %8s | %8s %8s %8s  "
                 "(compressed bits/proc/kilo-inst)\n",
@@ -41,72 +139,24 @@ main()
     std::vector<double> g_fdr, g_rtr, g_strata, g_oo, g_soo, g_pico;
     std::vector<double> oo_bytes_per_mops, pico_bytes_per_mops;
 
-    for (const auto &app : AppTable::allNames()) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-
-        // Conventional recorders observe the SC machine's access order.
-        FdrRecorder fdr(machine.numProcs);
-        RtrRecorder rtr(machine.numProcs);
-        StrataRecorder strata(machine.numProcs, /*record_war=*/false);
-        MultiSink sinks;
-        sinks.add(&fdr);
-        sinks.add(&rtr);
-        sinks.add(&strata);
-        InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
-        const InterleavedResult sc = sc_exec.run(w, 1, &sinks);
-        rtr.finalize();
-
-        const double kinst =
-            static_cast<double>(sc.totalInstrs) / 1000.0;
-        const double fdr_bits =
-            static_cast<double>(codec.compressedBits(fdr.packedBytes()))
-            / kinst;
-        const double rtr_bits = static_cast<double>(codec.compressedBits(
-                                    rtr.vectorPackedBytes()))
-                                / kinst;
-        const double strata_bits =
-            static_cast<double>(
-                codec.compressedBits(strata.packedBytes()))
-            / kinst;
-
-        auto delorean_bits = [&](ModeConfig mode, double *bytes_mops) {
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, 1);
-            const LogSizeReport sizes = rec.logSizes();
-            const double bits_per_kinst =
-                sizes.bitsPerProcPerKiloInstr(true);
-            if (bytes_mops) {
-                // bits/proc/kilo-inst -> bytes/proc/M memory ops,
-                // using the profile's memory-op density.
-                const double memop_ratio =
-                    w.profile().memOpPerMille / 1000.0;
-                *bytes_mops = bits_per_kinst * 125.0 / memop_ratio;
-            }
-            return bits_per_kinst;
-        };
-
-        ModeConfig strat = ModeConfig::orderOnly();
-        strat.stratifyChunksPerProc = 1;
-
-        double oo_mops = 0, pico_mops = 0;
-        const double oo = delorean_bits(ModeConfig::orderOnly(),
-                                        &oo_mops);
-        const double soo = delorean_bits(strat, nullptr);
-        const double pico = delorean_bits(ModeConfig::picoLog(),
-                                          &pico_mops);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const ScRow &sc = sc_rows[ai];
+        const double oo = mode_rows[ai][0].bits;
+        const double soo = mode_rows[ai][1].bits;
+        const double pico = mode_rows[ai][2].bits;
 
         std::printf("%-10s | %8.2f %8.2f %8.2f | %8.3f %8.3f %8.4f\n",
-                    app.c_str(), fdr_bits, rtr_bits, strata_bits, oo,
-                    soo, pico);
+                    apps[ai].c_str(), sc.fdrBits, sc.rtrBits,
+                    sc.strataBits, oo, soo, pico);
 
-        g_fdr.push_back(fdr_bits);
-        g_rtr.push_back(rtr_bits);
-        g_strata.push_back(strata_bits);
+        g_fdr.push_back(sc.fdrBits);
+        g_rtr.push_back(sc.rtrBits);
+        g_strata.push_back(sc.strataBits);
         g_oo.push_back(oo);
         g_soo.push_back(soo);
         g_pico.push_back(pico + 1e-6);
-        oo_bytes_per_mops.push_back(oo_mops);
-        pico_bytes_per_mops.push_back(pico_mops);
+        oo_bytes_per_mops.push_back(mode_rows[ai][0].bytesPerMops);
+        pico_bytes_per_mops.push_back(mode_rows[ai][2].bytesPerMops);
     }
 
     const double fdr_m = geoMean(g_fdr), rtr_m = geoMean(g_rtr);

@@ -25,48 +25,80 @@ main()
     const unsigned scale = benchScale(35);
     const MachineConfig machine;
 
+    std::vector<std::pair<std::string, bool>> apps; // (name, is_sp2)
+    for (const auto &app : AppTable::splash2Names())
+        apps.emplace_back(app, true);
+    apps.emplace_back("sjbb2k", false);
+    apps.emplace_back("sweb2005", false);
+
+    ModeConfig strat = ModeConfig::orderOnly();
+    strat.stratifyChunksPerProc = 1;
+
+    // Per app: RC, SC, then the five chunked configurations. Each grid
+    // cell is an independent engine run, so each is its own job.
+    struct ChunkedCfg
+    {
+        ModeConfig mode;
+        bool logging;
+    };
+    const std::vector<ChunkedCfg> chunked{
+        {ModeConfig::orderOnly(), false},   // plain BulkSC
+        {ModeConfig::orderAndSize(), true},
+        {ModeConfig::orderOnly(), true},
+        {strat, true},
+        {ModeConfig::picoLog(), true},
+    };
+    const std::size_t stride = 2 + chunked.size();
+
+    BenchCampaign campaign("fig10_performance");
+    std::vector<std::function<double()>> tasks;
+    for (const auto &[app, is_sp2] : apps) {
+        for (const ConsistencyModel model :
+             {ConsistencyModel::kRC, ConsistencyModel::kSC}) {
+            tasks.push_back([&campaign, &machine, app = app, model,
+                             scale] {
+                Workload w(app, machine.numProcs, kSeed,
+                           WorkloadScale{scale});
+                InterleavedExecutor exec(machine, model);
+                const InterleavedResult res = exec.run(w, 1);
+                campaign.addSim(res.cycles, res.totalInstrs);
+                return static_cast<double>(res.cycles);
+            });
+        }
+        for (const ChunkedCfg &cfg : chunked) {
+            tasks.push_back([&campaign, &machine, app = app, cfg,
+                             scale] {
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = cfg.mode;
+                job.logging = cfg.logging;
+                return static_cast<double>(
+                    campaign.record(job).stats.totalCycles);
+            });
+        }
+    }
+    const std::vector<double> cycles = campaign.map(std::move(tasks));
+
     std::printf("%-10s %6s %6s %6s %6s %6s %6s\n", "app", "BulkSC",
                 "O&S", "OO", "strOO", "Pico", "SC");
 
     std::vector<std::vector<double>> sp2(6);
-
-    auto run_app = [&](const std::string &app, bool is_sp2) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-
-        InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
-        InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
-        const double rc = static_cast<double>(rc_exec.run(w, 1).cycles);
-        const double sc = static_cast<double>(sc_exec.run(w, 1).cycles);
-
-        auto chunked = [&](const ModeConfig &mode, bool logging) {
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, 1, logging);
-            return static_cast<double>(rec.stats.totalCycles);
-        };
-
-        ModeConfig strat = ModeConfig::orderOnly();
-        strat.stratifyChunksPerProc = 1;
-
-        const double bulks = chunked(ModeConfig::orderOnly(), false);
-        const double oands = chunked(ModeConfig::orderAndSize(), true);
-        const double oo = chunked(ModeConfig::orderOnly(), true);
-        const double soo = chunked(strat, true);
-        const double pico = chunked(ModeConfig::picoLog(), true);
-
-        const double row[6] = {rc / bulks, rc / oands, rc / oo,
-                               rc / soo,   rc / pico,  rc / sc};
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const double *base = &cycles[ai * stride];
+        const double rc = base[0];
+        const double sc = base[1];
+        const double row[6] = {rc / base[2], rc / base[3], rc / base[4],
+                               rc / base[5], rc / base[6], rc / sc};
         std::printf("%-10s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
-                    app.c_str(), row[0], row[1], row[2], row[3], row[4],
-                    row[5]);
-        if (is_sp2)
+                    apps[ai].first.c_str(), row[0], row[1], row[2],
+                    row[3], row[4], row[5]);
+        if (apps[ai].second)
             for (int i = 0; i < 6; ++i)
                 sp2[static_cast<std::size_t>(i)].push_back(row[i]);
-    };
-
-    for (const auto &app : AppTable::splash2Names())
-        run_app(app, true);
-    run_app("sjbb2k", false);
-    run_app("sweb2005", false);
+    }
 
     std::printf("%-10s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f\n",
                 "SP2-G.M.", geoMean(sp2[0]), geoMean(sp2[1]),

@@ -29,6 +29,14 @@ struct ModeRow
     ModeConfig mode;
 };
 
+/** Record + 5 perturbed replays of one (app, mode) cell. */
+struct Cell
+{
+    double execCycles = 0;
+    double replayCyclesAvg = 0;
+    bool deterministic = true;
+};
+
 } // namespace
 
 int
@@ -49,6 +57,66 @@ main()
         {"PicoLog", ModeConfig::picoLog()},
     };
 
+    std::vector<std::pair<std::string, bool>> apps; // (name, is_sp2)
+    for (const auto &app : AppTable::splash2Names())
+        apps.emplace_back(app, true);
+    apps.emplace_back("sjbb2k", false);
+    apps.emplace_back("sweb2005", false);
+
+    // Per app: one RC baseline job, then one job per mode doing the
+    // (cached) record plus its 5 perturbed replays.
+    BenchCampaign campaign("fig11_replay_speed");
+    std::vector<std::function<Cell()>> tasks;
+    for (const auto &[app, is_sp2] : apps) {
+        tasks.push_back([&campaign, &machine, app = app, scale] {
+            Workload w(app, machine.numProcs, kSeed,
+                       WorkloadScale{scale});
+            InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
+            const InterleavedResult res = rc_exec.run(w, 1);
+            campaign.addSim(res.cycles, res.totalInstrs);
+            Cell cell;
+            cell.execCycles = static_cast<double>(res.cycles);
+            return cell;
+        });
+        for (const ModeRow &m : modes) {
+            tasks.push_back([&campaign, &machine, app = app,
+                             mode = m.mode, scale] {
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = mode;
+                const Recording &rec = campaign.record(job);
+
+                Workload w(app, machine.numProcs, kSeed,
+                           WorkloadScale{scale});
+                Replayer replayer;
+                Cell cell;
+                cell.execCycles =
+                    static_cast<double>(rec.stats.totalCycles);
+                for (unsigned run = 0; run < 5; ++run) {
+                    ReplayPerturbation perturb;
+                    perturb.enabled = true;
+                    perturb.seed = 1000 + run;
+                    const ReplayOutcome out = replayer.replay(
+                        rec, w, /*env_seed=*/77 + run, perturb);
+                    campaign.account(out.stats);
+                    cell.replayCyclesAvg +=
+                        static_cast<double>(out.stats.totalCycles);
+                    const bool ok = rec.stratified()
+                                        ? out.deterministicPerProc
+                                        : out.deterministicExact;
+                    if (!ok)
+                        cell.deterministic = false;
+                }
+                cell.replayCyclesAvg /= 5.0;
+                return cell;
+            });
+        }
+    }
+    const std::vector<Cell> cells = campaign.map(std::move(tasks));
+
     std::printf("%-10s |", "app");
     for (const auto &m : modes)
         std::printf(" %9s-x %9s-r |", m.label, m.label);
@@ -57,49 +125,25 @@ main()
     std::vector<std::vector<double>> sp2_exec(3), sp2_replay(3);
     bool all_deterministic = true;
 
-    auto run_app = [&](const std::string &app, bool is_sp2) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-        InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
-        const double rc = static_cast<double>(rc_exec.run(w, 1).cycles);
-
-        std::printf("%-10s |", app.c_str());
+    const std::size_t stride = 1 + std::size(modes);
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const Cell *base = &cells[ai * stride];
+        const double rc = base[0].execCycles;
+        std::printf("%-10s |", apps[ai].first.c_str());
         for (std::size_t mi = 0; mi < 3; ++mi) {
-            Recorder recorder(modes[mi].mode, machine);
-            const Recording rec = recorder.record(w, 1);
-            const double exec_speed =
-                rc / static_cast<double>(rec.stats.totalCycles);
-
-            Replayer replayer;
-            double replay_cycles = 0;
-            for (unsigned run = 0; run < 5; ++run) {
-                ReplayPerturbation perturb;
-                perturb.enabled = true;
-                perturb.seed = 1000 + run;
-                const ReplayOutcome out =
-                    replayer.replay(rec, w, /*env_seed=*/77 + run,
-                                    perturb);
-                replay_cycles +=
-                    static_cast<double>(out.stats.totalCycles);
-                const bool ok = rec.stratified()
-                                    ? out.deterministicPerProc
-                                    : out.deterministicExact;
-                if (!ok)
-                    all_deterministic = false;
-            }
-            const double replay_speed = rc / (replay_cycles / 5.0);
+            const Cell &cell = base[1 + mi];
+            const double exec_speed = rc / cell.execCycles;
+            const double replay_speed = rc / cell.replayCyclesAvg;
+            if (!cell.deterministic)
+                all_deterministic = false;
             std::printf(" %11.2f %11.2f |", exec_speed, replay_speed);
-            if (is_sp2) {
+            if (apps[ai].second) {
                 sp2_exec[mi].push_back(exec_speed);
                 sp2_replay[mi].push_back(replay_speed);
             }
         }
         std::printf("\n");
-    };
-
-    for (const auto &app : AppTable::splash2Names())
-        run_app(app, true);
-    run_app("sjbb2k", false);
-    run_app("sweb2005", false);
+    }
 
     std::printf("%-10s |", "SP2-G.M.");
     for (std::size_t mi = 0; mi < 3; ++mi)

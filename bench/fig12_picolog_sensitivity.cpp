@@ -28,44 +28,72 @@ main()
     const std::vector<unsigned> procs{4, 8, 16};
     const std::vector<InstrCount> chunk_sizes{500, 1000, 2000, 3000};
     const std::vector<unsigned> sim_chunks{1, 2, 3, 4, 8, 16};
+    const std::vector<std::string> apps = AppTable::splash2Names();
 
+    // Per processor count: one RC baseline job per app, then one job
+    // per (chunk size, simultaneous chunks, app) cell.
+    BenchCampaign campaign("fig12_picolog_sensitivity");
+    std::vector<std::function<double()>> tasks;
     for (const unsigned n : procs) {
-        std::printf("(%u processors)\n%8s |", n, "chunk");
-        for (const unsigned sc : sim_chunks)
-            std::printf(" sim=%-2u", sc);
-        std::printf("\n");
-
         MachineConfig machine;
         machine.numProcs = n;
-
-        // RC reference per app, shared across the sweep.
-        std::vector<double> rc_cycles;
-        for (const auto &app : AppTable::splash2Names()) {
-            Workload w(app, n, kSeed, WorkloadScale{scale});
-            InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
-            rc_cycles.push_back(
-                static_cast<double>(rc_exec.run(w, 1).cycles));
+        for (const auto &app : apps) {
+            tasks.push_back([&campaign, machine, app, n, scale] {
+                Workload w(app, n, kSeed, WorkloadScale{scale});
+                InterleavedExecutor rc_exec(machine,
+                                            ConsistencyModel::kRC);
+                const InterleavedResult res = rc_exec.run(w, 1);
+                campaign.addSim(res.cycles, res.totalInstrs);
+                return static_cast<double>(res.cycles);
+            });
         }
-
         for (const InstrCount cs : chunk_sizes) {
-            std::printf("%8llu |", static_cast<unsigned long long>(cs));
             for (const unsigned sim : sim_chunks) {
                 MachineConfig m = machine;
                 m.bulk.simultaneousChunks = sim;
                 ModeConfig mode = ModeConfig::picoLog();
                 mode.chunkSize = cs;
-
-                std::vector<double> speedups;
-                std::size_t ai = 0;
-                for (const auto &app : AppTable::splash2Names()) {
-                    Workload w(app, n, kSeed, WorkloadScale{scale});
-                    Recorder recorder(mode, m);
-                    const Recording rec = recorder.record(w, 1);
-                    speedups.push_back(
-                        rc_cycles[ai]
-                        / static_cast<double>(rec.stats.totalCycles));
-                    ++ai;
+                for (const auto &app : apps) {
+                    tasks.push_back([&campaign, m, mode, app, scale] {
+                        RecordJob job;
+                        job.app = app;
+                        job.workloadSeed = kSeed;
+                        job.scalePercent = scale;
+                        job.machine = m;
+                        job.mode = mode;
+                        return static_cast<double>(
+                            campaign.record(job).stats.totalCycles);
+                    });
                 }
+            }
+        }
+    }
+    const std::vector<double> cycles = campaign.map(std::move(tasks));
+
+    const std::size_t na = apps.size();
+    const std::size_t block =
+        na + chunk_sizes.size() * sim_chunks.size() * na;
+
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+        const unsigned n = procs[pi];
+        std::printf("(%u processors)\n%8s |", n, "chunk");
+        for (const unsigned sc : sim_chunks)
+            std::printf(" sim=%-2u", sc);
+        std::printf("\n");
+
+        const double *base = &cycles[pi * block];
+        const double *rc_cycles = base;
+        const double *cells = base + na;
+
+        for (std::size_t ci = 0; ci < chunk_sizes.size(); ++ci) {
+            std::printf("%8llu |", static_cast<unsigned long long>(
+                                       chunk_sizes[ci]));
+            for (std::size_t si = 0; si < sim_chunks.size(); ++si) {
+                const double *cell =
+                    &cells[(ci * sim_chunks.size() + si) * na];
+                std::vector<double> speedups;
+                for (std::size_t ai = 0; ai < na; ++ai)
+                    speedups.push_back(rc_cycles[ai] / cell[ai]);
                 std::printf(" %6.2f", geoMean(speedups));
             }
             std::printf("\n");

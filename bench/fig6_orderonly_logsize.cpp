@@ -27,21 +27,41 @@ main()
     const MachineConfig machine;
     const std::vector<InstrCount> chunk_sizes{1000, 2000, 3000};
 
+    std::vector<std::pair<std::string, bool>> apps; // (name, is_sp2)
+    for (const auto &app : AppTable::splash2Names())
+        apps.emplace_back(app, true);
+    apps.emplace_back("sjbb2k", false);
+    apps.emplace_back("sweb2005", false);
+
+    BenchCampaign campaign("fig6_orderonly_logsize");
+    std::vector<std::function<LogSizeReport()>> tasks;
+    for (const auto &[app, is_sp2] : apps) {
+        for (const InstrCount cs : chunk_sizes) {
+            tasks.push_back([&campaign, &machine, app = app, cs, scale] {
+                ModeConfig mode = ModeConfig::orderOnly();
+                mode.chunkSize = cs;
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = mode;
+                return campaign.record(job).logSizes();
+            });
+        }
+    }
+    const std::vector<LogSizeReport> rows = campaign.map(std::move(tasks));
+
     std::printf("%-10s %6s | %9s %9s %9s %9s\n", "app", "chunk",
                 "PI raw", "CS raw", "PI comp", "CS comp");
 
     std::vector<std::vector<double>> sp2_raw(chunk_sizes.size());
     std::vector<std::vector<double>> sp2_comp(chunk_sizes.size());
 
-    auto run_app = [&](const std::string &app, bool is_sp2) {
+    std::size_t row = 0;
+    for (const auto &[app, is_sp2] : apps) {
         for (std::size_t ci = 0; ci < chunk_sizes.size(); ++ci) {
-            ModeConfig mode = ModeConfig::orderOnly();
-            mode.chunkSize = chunk_sizes[ci];
-            Workload w(app, machine.numProcs, kSeed,
-                       WorkloadScale{scale});
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, /*env_seed=*/1);
-            const LogSizeReport sizes = rec.logSizes();
+            const LogSizeReport &sizes = rows[row++];
             std::printf("%-10s %6llu | %9.3f %9.3f %9.3f %9.3f\n",
                         app.c_str(),
                         static_cast<unsigned long long>(chunk_sizes[ci]),
@@ -56,12 +76,7 @@ main()
                     sizes.bitsPerProcPerKiloInstr(true));
             }
         }
-    };
-
-    for (const auto &app : AppTable::splash2Names())
-        run_app(app, true);
-    run_app("sjbb2k", false);
-    run_app("sweb2005", false);
+    }
 
     std::printf("\nSP2 geometric means (PI+CS total):\n");
     for (std::size_t ci = 0; ci < chunk_sizes.size(); ++ci) {

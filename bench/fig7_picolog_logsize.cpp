@@ -15,6 +15,18 @@
 using namespace delorean;
 using namespace delorean_bench;
 
+namespace
+{
+
+struct Row
+{
+    LogSizeReport sizes;
+    std::uint64_t overflow = 0;
+    std::uint64_t collision = 0;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -25,33 +37,48 @@ main()
     const unsigned scale = benchScale(30);
     const MachineConfig machine;
     const std::vector<InstrCount> chunk_sizes{1000, 2000, 3000};
+    const std::vector<std::string> apps = AppTable::allNames();
+
+    BenchCampaign campaign("fig7_picolog_logsize");
+    std::vector<std::function<Row()>> tasks;
+    for (const auto &app : apps) {
+        for (const InstrCount cs : chunk_sizes) {
+            tasks.push_back([&campaign, &machine, app, cs, scale] {
+                ModeConfig mode = ModeConfig::picoLog();
+                mode.chunkSize = cs;
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = mode;
+                const Recording &rec = campaign.record(job);
+                return Row{rec.logSizes(),
+                           rec.stats.overflowTruncations,
+                           rec.stats.collisionTruncations};
+            });
+        }
+    }
+    const std::vector<Row> rows = campaign.map(std::move(tasks));
 
     std::printf("%-10s %6s | %9s %9s | %s\n", "app", "chunk", "CS raw",
                 "CS comp", "truncations");
 
     std::vector<double> preferred_comp;
-
-    for (const auto &app : AppTable::allNames()) {
+    std::size_t row = 0;
+    for (const auto &app : apps) {
         for (const InstrCount cs : chunk_sizes) {
-            ModeConfig mode = ModeConfig::picoLog();
-            mode.chunkSize = cs;
-            Workload w(app, machine.numProcs, kSeed,
-                       WorkloadScale{scale});
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, 1);
-            const LogSizeReport sizes = rec.logSizes();
+            const Row &r = rows[row++];
             std::printf("%-10s %6llu | %9.4f %9.4f | %llu overflow, "
                         "%llu collision\n",
                         app.c_str(), static_cast<unsigned long long>(cs),
-                        sizes.csBitsPerProcPerKiloInstr(false),
-                        sizes.csBitsPerProcPerKiloInstr(true),
-                        static_cast<unsigned long long>(
-                            rec.stats.overflowTruncations),
-                        static_cast<unsigned long long>(
-                            rec.stats.collisionTruncations));
+                        r.sizes.csBitsPerProcPerKiloInstr(false),
+                        r.sizes.csBitsPerProcPerKiloInstr(true),
+                        static_cast<unsigned long long>(r.overflow),
+                        static_cast<unsigned long long>(r.collision));
             if (cs == 1000)
                 preferred_comp.push_back(
-                    sizes.csBitsPerProcPerKiloInstr(true) + 1e-6);
+                    r.sizes.csBitsPerProcPerKiloInstr(true) + 1e-6);
         }
     }
 

@@ -25,21 +25,35 @@ main()
     const unsigned scale = benchScale(30);
     const MachineConfig machine;
     const std::vector<InstrCount> chunk_sizes{1000, 2000, 3000};
+    const std::vector<std::string> apps = AppTable::allNames();
+
+    BenchCampaign campaign("fig8_ordersize_logsize");
+    std::vector<std::function<LogSizeReport()>> tasks;
+    for (const auto &app : apps) {
+        for (const InstrCount cs : chunk_sizes) {
+            tasks.push_back([&campaign, &machine, app, cs, scale] {
+                ModeConfig mode = ModeConfig::orderAndSize();
+                mode.chunkSize = cs;
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = mode;
+                return campaign.record(job).logSizes();
+            });
+        }
+    }
+    const std::vector<LogSizeReport> rows = campaign.map(std::move(tasks));
 
     std::printf("%-10s %6s | %9s %9s %9s %9s | %9s\n", "app", "max",
                 "PI raw", "CS raw", "PI comp", "CS comp", "total comp");
 
     std::vector<double> preferred_totals;
-
-    for (const auto &app : AppTable::allNames()) {
+    std::size_t row = 0;
+    for (const auto &app : apps) {
         for (const InstrCount cs : chunk_sizes) {
-            ModeConfig mode = ModeConfig::orderAndSize();
-            mode.chunkSize = cs;
-            Workload w(app, machine.numProcs, kSeed,
-                       WorkloadScale{scale});
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, 1);
-            const LogSizeReport sizes = rec.logSizes();
+            const LogSizeReport &sizes = rows[row++];
             std::printf("%-10s %6llu | %9.3f %9.3f %9.3f %9.3f | %9.3f\n",
                         app.c_str(), static_cast<unsigned long long>(cs),
                         sizes.piBitsPerProcPerKiloInstr(false),

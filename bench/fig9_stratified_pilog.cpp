@@ -25,28 +25,43 @@ main()
     const unsigned scale = benchScale(30);
     const MachineConfig machine;
     const std::vector<unsigned> strat_configs{1, 3, 7};
+    const std::vector<std::string> apps = AppTable::allNames();
+
+    // One job per (app, stratification) cell; stratification 0 is the
+    // non-stratified baseline each row is normalized against.
+    BenchCampaign campaign("fig9_stratified_pilog");
+    std::vector<std::function<LogSizeReport()>> tasks;
+    for (const auto &app : apps) {
+        for (unsigned chunks :
+             std::vector<unsigned>{0, strat_configs[0], strat_configs[1],
+                                   strat_configs[2]}) {
+            tasks.push_back([&campaign, &machine, app, chunks, scale] {
+                ModeConfig mode = ModeConfig::orderOnly();
+                mode.stratifyChunksPerProc = chunks;
+                RecordJob job;
+                job.app = app;
+                job.workloadSeed = kSeed;
+                job.scalePercent = scale;
+                job.machine = machine;
+                job.mode = mode;
+                return campaign.record(job).logSizes();
+            });
+        }
+    }
+    const std::vector<LogSizeReport> rows = campaign.map(std::move(tasks));
 
     std::printf("%-10s | %10s | %8s %8s %8s  (normalized comp PI)\n",
                 "app", "base comp", "s=1", "s=3", "s=7");
 
     std::vector<double> norm_s1, total_s1;
-
-    for (const auto &app : AppTable::allNames()) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-
-        ModeConfig base = ModeConfig::orderOnly();
-        Recorder base_rec(base, machine);
-        const Recording rec0 = base_rec.record(w, 1);
-        const LogSizeReport s0 = rec0.logSizes();
+    std::size_t row = 0;
+    for (const auto &app : apps) {
+        const LogSizeReport &s0 = rows[row++];
         const double base_pi = s0.piBitsPerProcPerKiloInstr(true);
 
         std::printf("%-10s | %10.3f |", app.c_str(), base_pi);
         for (const unsigned chunks : strat_configs) {
-            ModeConfig mode = ModeConfig::orderOnly();
-            mode.stratifyChunksPerProc = chunks;
-            Recorder recorder(mode, machine);
-            const Recording rec = recorder.record(w, 1);
-            const LogSizeReport s = rec.logSizes();
+            const LogSizeReport &s = rows[row++];
             const double pi = s.piBitsPerProcPerKiloInstr(true);
             const double norm = base_pi > 0 ? pi / base_pi : 0.0;
             std::printf(" %8.3f", norm);

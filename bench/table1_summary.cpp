@@ -15,6 +15,28 @@
 using namespace delorean;
 using namespace delorean_bench;
 
+namespace
+{
+
+/** SC run with the baseline recorders attached. */
+struct ScRow
+{
+    double scCycles = 0;
+    double fdrBits = 0;
+    double rtrBits = 0;
+    double strataBits = 0;
+};
+
+/** One DeLorean mode: cached record + one perturbed replay. */
+struct ModeCell
+{
+    double recCycles = 0;
+    double bits = 0;
+    double replayCycles = 0;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -24,69 +46,124 @@ main()
 
     const unsigned scale = benchScale(25);
     const MachineConfig machine;
-    const Lz77 codec;
+    const std::vector<std::string> apps = AppTable::splash2Names();
+
+    // Per app: RC baseline, SC+baseline-recorders, and one job per
+    // DeLorean mode (record + perturbed replay).
+    BenchCampaign campaign("table1_summary");
+
+    auto mode_task = [&campaign, &machine, scale](const std::string &app,
+                                                  const ModeConfig &mode) {
+        return [&campaign, &machine, app, mode, scale] {
+            RecordJob job;
+            job.app = app;
+            job.workloadSeed = kSeed;
+            job.scalePercent = scale;
+            job.machine = machine;
+            job.mode = mode;
+            const Recording &rec = campaign.record(job);
+
+            Workload w(app, machine.numProcs, kSeed,
+                       WorkloadScale{scale});
+            Replayer replayer;
+            ReplayPerturbation perturb;
+            perturb.enabled = true;
+            perturb.seed = 3;
+            const ReplayOutcome out = replayer.replay(rec, w, 9, perturb);
+            campaign.account(out.stats);
+
+            ModeCell cell;
+            cell.recCycles = static_cast<double>(rec.stats.totalCycles);
+            cell.bits = rec.logSizes().bitsPerProcPerKiloInstr(true);
+            cell.replayCycles =
+                static_cast<double>(out.stats.totalCycles);
+            return cell;
+        };
+    };
+
+    std::vector<std::function<double()>> rc_tasks;
+    std::vector<std::function<ScRow()>> sc_tasks;
+    std::vector<std::function<ModeCell()>> oo_tasks, pico_tasks;
+    for (const auto &app : apps) {
+        rc_tasks.push_back([&campaign, &machine, app, scale] {
+            Workload w(app, machine.numProcs, kSeed,
+                       WorkloadScale{scale});
+            InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
+            const InterleavedResult res = rc_exec.run(w, 1);
+            campaign.addSim(res.cycles, res.totalInstrs);
+            return static_cast<double>(res.cycles);
+        });
+        sc_tasks.push_back([&campaign, &machine, app, scale] {
+            Workload w(app, machine.numProcs, kSeed,
+                       WorkloadScale{scale});
+            InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
+            FdrRecorder fdr(machine.numProcs);
+            RtrRecorder rtr(machine.numProcs);
+            StrataRecorder strata(machine.numProcs, false);
+            MultiSink sinks;
+            sinks.add(&fdr);
+            sinks.add(&rtr);
+            sinks.add(&strata);
+
+            const InterleavedResult sc = sc_exec.run(w, 1, &sinks);
+            rtr.finalize();
+            campaign.addSim(sc.cycles, sc.totalInstrs);
+
+            const Lz77 codec;
+            const double kinst =
+                static_cast<double>(sc.totalInstrs) / 1000.0;
+            ScRow row;
+            row.scCycles = static_cast<double>(sc.cycles);
+            row.fdrBits = codec.compressedBits(fdr.packedBytes()) / kinst;
+            row.rtrBits =
+                codec.compressedBits(rtr.vectorPackedBytes()) / kinst;
+            row.strataBits =
+                codec.compressedBits(strata.packedBytes()) / kinst;
+            return row;
+        });
+        oo_tasks.push_back(mode_task(app, ModeConfig::orderOnly()));
+        pico_tasks.push_back(mode_task(app, ModeConfig::picoLog()));
+    }
+
+    // One fused task list so all four columns share the worker pool.
+    const std::size_t na = apps.size();
+    std::vector<double> rc(na);
+    std::vector<ScRow> sc_rows(na);
+    std::vector<ModeCell> oo_cells(na), pico_cells(na);
+    {
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t ai = 0; ai < na; ++ai) {
+            tasks.push_back(
+                [&rc, &rc_tasks, ai] { rc[ai] = rc_tasks[ai](); });
+            tasks.push_back([&sc_rows, &sc_tasks, ai] {
+                sc_rows[ai] = sc_tasks[ai]();
+            });
+            tasks.push_back([&oo_cells, &oo_tasks, ai] {
+                oo_cells[ai] = oo_tasks[ai]();
+            });
+            tasks.push_back([&pico_cells, &pico_tasks, ai] {
+                pico_cells[ai] = pico_tasks[ai]();
+            });
+        }
+        campaign.run(std::move(tasks));
+    }
 
     // Measure averages over SPLASH-2.
     std::vector<double> sc_speed, oo_speed, pico_speed;
-    std::vector<double> oo_rec_speed, pico_rec_speed;
     std::vector<double> fdr_bits, rtr_bits, strata_bits, oo_bits,
         pico_bits;
     std::vector<double> oo_replay, pico_replay;
-
-    for (const auto &app : AppTable::splash2Names()) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-
-        InterleavedExecutor rc_exec(machine, ConsistencyModel::kRC);
-        InterleavedExecutor sc_exec(machine, ConsistencyModel::kSC);
-        FdrRecorder fdr(machine.numProcs);
-        RtrRecorder rtr(machine.numProcs);
-        StrataRecorder strata(machine.numProcs, false);
-        MultiSink sinks;
-        sinks.add(&fdr);
-        sinks.add(&rtr);
-        sinks.add(&strata);
-
-        const double rc = static_cast<double>(rc_exec.run(w, 1).cycles);
-        const InterleavedResult sc = sc_exec.run(w, 1, &sinks);
-        rtr.finalize();
-        sc_speed.push_back(rc / static_cast<double>(sc.cycles));
-
-        const double kinst =
-            static_cast<double>(sc.totalInstrs) / 1000.0;
-        fdr_bits.push_back(
-            codec.compressedBits(fdr.packedBytes()) / kinst);
-        rtr_bits.push_back(
-            codec.compressedBits(rtr.vectorPackedBytes()) / kinst);
-        strata_bits.push_back(
-            codec.compressedBits(strata.packedBytes()) / kinst);
-
-        Replayer replayer;
-        ReplayPerturbation perturb;
-        perturb.enabled = true;
-        perturb.seed = 3;
-
-        {
-            Recorder r(ModeConfig::orderOnly(), machine);
-            const Recording rec = r.record(w, 1);
-            oo_speed.push_back(
-                rc / static_cast<double>(rec.stats.totalCycles));
-            oo_bits.push_back(
-                rec.logSizes().bitsPerProcPerKiloInstr(true));
-            const ReplayOutcome out = replayer.replay(rec, w, 9, perturb);
-            oo_replay.push_back(
-                rc / static_cast<double>(out.stats.totalCycles));
-        }
-        {
-            Recorder r(ModeConfig::picoLog(), machine);
-            const Recording rec = r.record(w, 1);
-            pico_speed.push_back(
-                rc / static_cast<double>(rec.stats.totalCycles));
-            pico_bits.push_back(
-                rec.logSizes().bitsPerProcPerKiloInstr(true) + 1e-6);
-            const ReplayOutcome out = replayer.replay(rec, w, 9, perturb);
-            pico_replay.push_back(
-                rc / static_cast<double>(out.stats.totalCycles));
-        }
+    for (std::size_t ai = 0; ai < na; ++ai) {
+        sc_speed.push_back(rc[ai] / sc_rows[ai].scCycles);
+        fdr_bits.push_back(sc_rows[ai].fdrBits);
+        rtr_bits.push_back(sc_rows[ai].rtrBits);
+        strata_bits.push_back(sc_rows[ai].strataBits);
+        oo_speed.push_back(rc[ai] / oo_cells[ai].recCycles);
+        oo_bits.push_back(oo_cells[ai].bits);
+        oo_replay.push_back(rc[ai] / oo_cells[ai].replayCycles);
+        pico_speed.push_back(rc[ai] / pico_cells[ai].recCycles);
+        pico_bits.push_back(pico_cells[ai].bits + 1e-6);
+        pico_replay.push_back(rc[ai] / pico_cells[ai].replayCycles);
     }
 
     std::printf("%-28s %-14s %-20s %-12s %s\n", "Property", "FDR/RTR/Strata",

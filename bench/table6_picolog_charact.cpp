@@ -23,21 +23,32 @@ main()
 
     const unsigned scale = benchScale(35);
     const MachineConfig machine;
+    const std::vector<std::string> apps = AppTable::allNames();
+
+    BenchCampaign campaign("table6_picolog_charact");
+    std::vector<std::function<EngineStats()>> tasks;
+    for (const auto &app : apps) {
+        tasks.push_back([&campaign, &machine, app, scale] {
+            RecordJob job;
+            job.app = app;
+            job.workloadSeed = kSeed;
+            job.scalePercent = scale;
+            job.machine = machine;
+            job.mode = ModeConfig::picoLog();
+            return campaign.record(job).stats;
+        });
+    }
+    const std::vector<EngineStats> rows = campaign.map(std::move(tasks));
 
     std::printf("%-10s %6s %7s %7s %8s %8s %8s %7s\n", "app", "Ready",
                 "Commit", "Rdy%", "WaitTok", "WaitCpl", "Rndtrip",
                 "Stall%");
 
     std::vector<double> g_ready, g_commit;
-
-    for (const auto &app : AppTable::allNames()) {
-        Workload w(app, machine.numProcs, kSeed, WorkloadScale{scale});
-        Recorder recorder(ModeConfig::picoLog(), machine);
-        const Recording rec = recorder.record(w, 1);
-        const EngineStats &s = rec.stats;
-
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        const EngineStats &s = rows[ai];
         std::printf("%-10s %6.1f %7.1f %7.1f %8.0f %8.0f %8.0f %7.1f\n",
-                    app.c_str(), s.readyProcsAtCommit.mean(),
+                    apps[ai].c_str(), s.readyProcsAtCommit.mean(),
                     s.parallelCommits.mean(), s.procReadyPercent(),
                     s.waitForTokenCycles.mean(),
                     s.waitForCompleteCycles.mean(),

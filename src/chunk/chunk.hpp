@@ -82,6 +82,31 @@ struct Chunk
     /// Lines written (for spec-line tracking release on squash/commit).
     std::vector<Addr> writtenLines;
 
+    /**
+     * Return the chunk to its just-constructed state, keeping the
+     * buffers' allocations so a recycled chunk re-executes without
+     * touching the allocator (the contexts are overwritten wholesale
+     * when the chunk is rebuilt).
+     */
+    void
+    reset()
+    {
+        proc = 0;
+        seq = 0;
+        writes.clear();
+        writeMap.clear();
+        sigs.clear();
+        size = 0;
+        targetSize = 0;
+        endReason = ChunkEnd::kSizeLimit;
+        ioValues.clear();
+        state = ChunkState::kExecuting;
+        startTime = 0;
+        finishTime = 0;
+        squashCount = 0;
+        writtenLines.clear();
+    }
+
     /** Fingerprint contribution of the committed chunk. */
     std::uint64_t
     contentHash() const

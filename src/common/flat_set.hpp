@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FlatSet: a sorted-vector set for small cardinalities.
+ *
+ * The engine's per-chunk line sets hold tens of entries (a chunk
+ * touches tens of cache lines, not thousands), where an
+ * std::unordered_set pays for hashing, pointer-chasing buckets and a
+ * heap node per element on every access. A sorted vector with binary
+ * search beats it comfortably at that size, keeps its capacity across
+ * clear() so recycled chunks allocate nothing, and iterates in a
+ * deterministic (ascending) order — which also makes conflict checks
+ * and stratification independent of insertion history.
+ */
+
+#ifndef DELOREAN_COMMON_FLAT_SET_HPP_
+#define DELOREAN_COMMON_FLAT_SET_HPP_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace delorean
+{
+
+/** Sorted-vector set of trivially comparable values. */
+template <typename T>
+class FlatSet
+{
+  public:
+    using const_iterator = typename std::vector<T>::const_iterator;
+
+    /** Insert @p value; returns true if it was not already present. */
+    bool
+    insert(const T &value)
+    {
+        const auto it =
+            std::lower_bound(values_.begin(), values_.end(), value);
+        if (it != values_.end() && *it == value)
+            return false;
+        values_.insert(it, value);
+        return true;
+    }
+
+    /** Membership test (binary search). */
+    bool
+    contains(const T &value) const
+    {
+        const auto it =
+            std::lower_bound(values_.begin(), values_.end(), value);
+        return it != values_.end() && *it == value;
+    }
+
+    /** Drop all elements, keeping the allocation. */
+    void clear() { values_.clear(); }
+
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    std::size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    const_iterator begin() const { return values_.begin(); }
+    const_iterator end() const { return values_.end(); }
+
+    bool operator==(const FlatSet &) const = default;
+
+  private:
+    std::vector<T> values_; ///< strictly ascending
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_COMMON_FLAT_SET_HPP_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "trace/layout.hpp"
@@ -66,6 +67,7 @@ ChunkEngine::record()
 {
     assert(!ran_ && !opts_.replay);
     ran_ = true;
+    const auto wall_start = std::chrono::steady_clock::now();
 
     Recording rec;
     rec.machine = machine_;
@@ -107,9 +109,14 @@ ChunkEngine::record()
     rec.fingerprint = fp_;
 
     stats_.totalCycles = last_time_;
+    stats_.generatedInstrs = generated_instrs_;
     for (ProcId p = 0; p < n_; ++p)
         stats_.perProcStallCycles[p] = procs_[p].stallCycles;
     stats_.traffic = dir_.traffic();
+    stats_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wall_start)
+            .count();
     rec.stats = stats_;
     return rec;
 }
@@ -120,6 +127,7 @@ ChunkEngine::replay(const Recording &prior)
     assert(!ran_ && opts_.replay);
     assert(prior.machine.numProcs == n_);
     ran_ = true;
+    const auto wall_start = std::chrono::steady_clock::now();
     prior_ = &prior;
 
     if (mode_.mode != ExecMode::kPicoLog) {
@@ -179,9 +187,14 @@ ChunkEngine::replay(const Recording &prior)
     fp_.finalMemHash = mem_.hash();
 
     stats_.totalCycles = last_time_;
+    stats_.generatedInstrs = generated_instrs_;
     for (ProcId p = 0; p < n_; ++p)
         stats_.perProcStallCycles[p] = procs_[p].stallCycles;
     stats_.traffic = dir_.traffic();
+    stats_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                      - wall_start)
+            .count();
 
     ReplayOutcome outcome;
     outcome.fingerprint = fp_;
@@ -292,6 +305,23 @@ ChunkEngine::findChunk(ProcId p, std::uint64_t uid)
     return nullptr;
 }
 
+std::unique_ptr<ChunkEngine::EngineChunk>
+ChunkEngine::acquireChunk()
+{
+    if (chunk_pool_.empty())
+        return std::make_unique<EngineChunk>();
+    auto chunk = std::move(chunk_pool_.back());
+    chunk_pool_.pop_back();
+    chunk->reset();
+    return chunk;
+}
+
+void
+ChunkEngine::recycleChunk(std::unique_ptr<EngineChunk> chunk)
+{
+    chunk_pool_.push_back(std::move(chunk));
+}
+
 void
 ChunkEngine::tryStartChunk(ProcId p, Cycle now)
 {
@@ -359,9 +389,10 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
     bool collision_reduced = false;
 
     if (ps.restart.has_value()) {
+        // ps.ctx already holds the restart start context (restored by
+        // squashFrom; nothing touches it while a restart is pending).
         const RestartInfo r = *ps.restart;
         ps.restart.reset();
-        ps.ctx = r.startCtx;
         seq = r.seq;
         continuation = r.continuation;
         target = r.pieceTarget;
@@ -427,7 +458,7 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
         return;
     }
 
-    auto chunk = std::make_unique<EngineChunk>();
+    auto chunk = acquireChunk();
     EngineChunk &c = *chunk;
     c.proc = p;
     c.seq = seq;
@@ -461,7 +492,8 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
           case Op::kAmoFetchAdd: {
             const Addr word = wordOf(in.addr);
             const Addr line = lineOf(in.addr);
-            if (writesMemory(in.op) && !c.extra.linesWritten.count(line)
+            if (writesMemory(in.op)
+                && !c.extra.linesWritten.contains(line)
                 && spec_[p].wouldOverflow(line)) {
                 ps.ctx = scratch_pre_ctx_;
                 if (i == 0)
@@ -484,7 +516,7 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
                 c.writes.emplace_back(word, stored);
                 c.writeMap[word] = stored;
                 c.sigs.write.insert(line);
-                if (c.extra.linesWritten.insert(line).second) {
+                if (c.extra.linesWritten.insert(line)) {
                     spec_[p].insert(line);
                     c.writtenLines.push_back(line);
                 }
@@ -525,12 +557,14 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
         // i == 0: no spec lines inserted by this chunk yet; wait until
         // one of this processor's chunks commits and frees ways.
         ps.blockedOnOverflow = true;
+        recycleChunk(std::move(chunk));
         return;
     }
     if (i == 0) {
         // Program ended exactly at a chunk boundary.
         if (ps.inflight.empty())
             ps.finished = true;
+        recycleChunk(std::move(chunk));
         return;
     }
 
@@ -618,7 +652,6 @@ ChunkEngine::squashFrom(ProcId p, std::size_t idx, Cycle now)
     EngineChunk &oldest = *ps.inflight[idx];
 
     RestartInfo r;
-    r.startCtx = oldest.startCtx;
     r.seq = oldest.seq;
     r.continuation = oldest.extra.continuation;
     r.pieceTarget = oldest.extra.pieceTarget;
@@ -655,12 +688,18 @@ ChunkEngine::squashFrom(ProcId p, std::size_t idx, Cycle now)
         }
     }
 
-    for (std::size_t k = idx; k < ps.inflight.size(); ++k)
+    // The only context copy of the squash/restart path: restore the
+    // squashed chunk's start context straight into ps.ctx, where the
+    // rebuild will find it (see RestartInfo).
+    ps.ctx = oldest.startCtx;
+
+    for (std::size_t k = idx; k < ps.inflight.size(); ++k) {
         spec_[p].removeAll(ps.inflight[k]->writtenLines);
+        recycleChunk(std::move(ps.inflight[k]));
+    }
     ps.inflight.erase(ps.inflight.begin() + static_cast<long>(idx),
                       ps.inflight.end());
 
-    ps.ctx = r.startCtx;
     ps.pendingRemainder = 0;
     ps.nextSeq = r.seq;
     ps.blockedOnOverflow = false;
@@ -683,8 +722,8 @@ ChunkEngine::conflictsWith(const EngineChunk &running,
 {
     if (machine_.bulk.exactDisambiguation) {
         for (const Addr line : write_lines) {
-            if (running.extra.linesRead.count(line)
-                || running.extra.linesWritten.count(line))
+            if (running.extra.linesRead.contains(line)
+                || running.extra.linesWritten.contains(line))
                 return true;
         }
         return false;
@@ -995,22 +1034,27 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     }
 
     // ----- squash conflicting chunks on other processors ------------------
-    const Signature wsig = c.sigs.write;
-    const std::vector<Addr> wlines = c.writtenLines;
-    ps.inflight.pop_front(); // c is dead beyond this point
-    if (!wlines.empty()) {
+    // Move the committed chunk out of the inflight window (so it is
+    // not scanned for conflicts against itself) but keep it alive:
+    // its write signature and line list are used in place instead of
+    // being copied, and the buffers are recycled afterwards.
+    auto committed = std::move(ps.inflight.front());
+    ps.inflight.pop_front();
+    if (!committed->writtenLines.empty()) {
         for (ProcId q = 0; q < n_; ++q) {
             if (q == p)
                 continue;
             auto &other = procs_[q].inflight;
             for (std::size_t k = 0; k < other.size(); ++k) {
-                if (conflictsWith(*other[k], wlines, wsig)) {
+                if (conflictsWith(*other[k], committed->writtenLines,
+                                  committed->sigs.write)) {
                     squashFrom(q, k, now);
                     break;
                 }
             }
         }
     }
+    recycleChunk(std::move(committed));
 
     // ----- resume this processor ------------------------------------------
     ps.blockedOnOverflow = false;

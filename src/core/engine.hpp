@@ -28,12 +28,12 @@
 #include <optional>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk.hpp"
 #include "chunk/spec_tracker.hpp"
 #include "common/config.hpp"
+#include "common/flat_set.hpp"
 #include "core/checkpoint.hpp"
 #include "core/recording.hpp"
 #include "memory/cache.hpp"
@@ -132,10 +132,16 @@ class ChunkEngine
         }
     };
 
-    /** Saved parameters for re-executing a squashed chunk. */
+    /**
+     * Saved parameters for re-executing a squashed chunk. The start
+     * context is NOT stored here: squashFrom restores it directly
+     * into ProcState::ctx, which nothing mutates until the rebuild
+     * (tryStartChunk bails out while a restart is pending), so the
+     * squash/restart path performs a single context copy instead of
+     * four.
+     */
     struct RestartInfo
     {
-        ThreadContext startCtx;
         ChunkSeq seq = 0;
         bool continuation = false;
         InstrCount pieceTarget = 0;
@@ -153,8 +159,10 @@ class ChunkEngine
         bool requestArrived = false;
         Cycle requestTime = kNoCycle;
         bool remainderAfter = false; ///< replay split: pieces follow
-        std::unordered_set<Addr> linesWritten;
-        std::unordered_set<Addr> linesRead; ///< exact disambiguation
+        /// Chunks touch tens of lines, so flat sorted-vector sets beat
+        /// hashing on every access and recycle their storage.
+        FlatSet<Addr> linesWritten;
+        FlatSet<Addr> linesRead; ///< exact disambiguation
         /// Cache fills this chunk performed (miss level per line), in
         /// access order. On a mid-execution squash the unreached tail
         /// is rolled back so eager chunk generation cannot act as a
@@ -165,6 +173,22 @@ class ChunkEngine
     struct EngineChunk : Chunk
     {
         ChunkExtra extra;
+
+        void
+        reset()
+        {
+            Chunk::reset();
+            extra.uid = 0;
+            extra.continuation = false;
+            extra.pieceTarget = 0;
+            extra.collisionReduced = false;
+            extra.requestArrived = false;
+            extra.requestTime = kNoCycle;
+            extra.remainderAfter = false;
+            extra.linesWritten.clear();
+            extra.linesRead.clear();
+            extra.fills.clear();
+        }
     };
 
     struct ProcState
@@ -206,6 +230,13 @@ class ChunkEngine
     void onChunkDone(ProcId p, std::uint64_t uid, Cycle now);
     void squashFrom(ProcId p, std::size_t idx, Cycle now);
     EngineChunk *findChunk(ProcId p, std::uint64_t uid);
+
+    /// Chunk freelist: squashed and committed chunks are recycled so
+    /// the build loop stops hitting the allocator (and the recycled
+    /// buffers keep their grown capacity).
+    std::unique_ptr<EngineChunk> acquireChunk();
+    void recycleChunk(std::unique_ptr<EngineChunk> chunk);
+    std::vector<std::unique_ptr<EngineChunk>> chunk_pool_;
 
     // ----- memory access helpers ----------------------------------------
     std::uint64_t chunkLoad(ProcId p, const EngineChunk &chunk,

@@ -33,6 +33,13 @@ struct EngineStats
     Cycle totalCycles = 0;
     InstrCount retiredInstrs = 0;   ///< committed instructions
     InstrCount executedInstrs = 0;  ///< including squashed work
+    /// Every dynamic instruction the generators produced, including
+    /// squashed and re-executed work — the "simulated instructions"
+    /// denominator for harness throughput (instrs/sec).
+    InstrCount generatedInstrs = 0;
+    /// Host wall-clock seconds the run took (record or replay). Not
+    /// architectural: never part of fingerprints or serialized logs.
+    double wallSeconds = 0.0;
     std::uint64_t committedChunks = 0;
     std::uint64_t squashes = 0;
     std::uint64_t overflowTruncations = 0;
@@ -78,6 +85,24 @@ struct EngineStats
         return total ? 100.0 * static_cast<double>(tokenArrivalsReady)
                            / static_cast<double>(total)
                      : 0.0;
+    }
+
+    /** Simulated cycles per host wall-clock second. */
+    double
+    simCyclesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(totalCycles) / wallSeconds
+                   : 0.0;
+    }
+
+    /** Simulated (generated) instructions per host wall-clock second. */
+    double
+    simInstrsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(generatedInstrs) / wallSeconds
+                   : 0.0;
     }
 };
 

@@ -74,9 +74,8 @@ Stratifier::onCommit(ProcId proc, const Signature &sig)
 }
 
 void
-Stratifier::onCommitLines(ProcId proc,
-                          const std::unordered_set<Addr> &reads,
-                          const std::unordered_set<Addr> &writes)
+Stratifier::onCommitLines(ProcId proc, const FlatSet<Addr> &reads,
+                          const FlatSet<Addr> &writes)
 {
     assert(proc < num_procs_);
 
@@ -88,15 +87,15 @@ Stratifier::onCommitLines(ProcId proc,
             if (q == proc)
                 continue;
             for (const Addr line : writes) {
-                if (sr_reads_[q].count(line)
-                    || sr_writes_[q].count(line)) {
+                if (sr_reads_[q].contains(line)
+                    || sr_writes_[q].contains(line)) {
                     conflict = true;
                     break;
                 }
             }
             if (!conflict) {
                 for (const Addr line : reads) {
-                    if (sr_writes_[q].count(line)) {
+                    if (sr_writes_[q].contains(line)) {
                         conflict = true;
                         break;
                     }
@@ -107,8 +106,10 @@ Stratifier::onCommitLines(ProcId proc,
             cutStratum();
     }
 
-    sr_reads_[proc].insert(reads.begin(), reads.end());
-    sr_writes_[proc].insert(writes.begin(), writes.end());
+    for (const Addr line : reads)
+        sr_reads_[proc].insert(line);
+    for (const Addr line : writes)
+        sr_writes_[proc].insert(line);
     ++counters_[proc];
     any_pending_ = true;
 }

@@ -21,10 +21,10 @@
 #define DELOREAN_CORE_STRATIFIER_HPP_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/bitstream.hpp"
+#include "common/flat_set.hpp"
 #include "common/types.hpp"
 #include "signature/signature.hpp"
 
@@ -60,9 +60,8 @@ class Stratifier
      * exact disambiguation. Cuts a stratum on a true cross-processor
      * conflict: W_new vs (R|W)_other or R_new vs W_other.
      */
-    void onCommitLines(ProcId proc,
-                       const std::unordered_set<Addr> &reads,
-                       const std::unordered_set<Addr> &writes);
+    void onCommitLines(ProcId proc, const FlatSet<Addr> &reads,
+                       const FlatSet<Addr> &writes);
 
     /** Feed a DMA commit: cuts the stratum and emits a DMA marker. */
     void onDmaCommit();
@@ -94,8 +93,8 @@ class Stratifier
     unsigned counter_bits_;
     std::vector<std::uint8_t> counters_;
     std::vector<Signature> srs_;
-    std::vector<std::unordered_set<Addr>> sr_reads_;
-    std::vector<std::unordered_set<Addr>> sr_writes_;
+    std::vector<FlatSet<Addr>> sr_reads_;
+    std::vector<FlatSet<Addr>> sr_writes_;
     bool any_pending_ = false;
     std::vector<Stratum> strata_;
 };

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * FlatSet: the sorted-vector set backing ChunkExtra's line sets and
+ * the stratifier's read/write sets. Must behave exactly like a set
+ * (dedup, membership) while iterating in ascending order and keeping
+ * its capacity across clear() (the engine recycles these per chunk).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/flat_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+TEST(FlatSet, InsertReportsNewness)
+{
+    FlatSet<Addr> s;
+    EXPECT_TRUE(s.insert(5));
+    EXPECT_TRUE(s.insert(3));
+    EXPECT_FALSE(s.insert(5));
+    EXPECT_FALSE(s.insert(3));
+    EXPECT_TRUE(s.insert(4));
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(FlatSet, ContainsMatchesInserted)
+{
+    FlatSet<Addr> s;
+    for (Addr a : {9, 1, 7, 3, 7, 1})
+        s.insert(static_cast<Addr>(a));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_FALSE(s.contains(10));
+}
+
+TEST(FlatSet, IteratesInAscendingOrder)
+{
+    Xoshiro256ss rng(42);
+    FlatSet<Addr> s;
+    for (int i = 0; i < 500; ++i)
+        s.insert(rng.below(200));
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+}
+
+TEST(FlatSet, MatchesUnorderedSetSemantics)
+{
+    Xoshiro256ss rng(7);
+    FlatSet<Addr> flat;
+    std::unordered_set<Addr> ref;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(300);
+        EXPECT_EQ(flat.insert(a), ref.insert(a).second);
+    }
+    EXPECT_EQ(flat.size(), ref.size());
+    for (Addr a = 0; a < 300; ++a)
+        EXPECT_EQ(flat.contains(a), ref.count(a) != 0);
+}
+
+TEST(FlatSet, ClearKeepsCapacity)
+{
+    FlatSet<Addr> s;
+    for (Addr a = 0; a < 100; ++a)
+        s.insert(a * 3);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_FALSE(s.contains(3));
+    // Reusable after clear.
+    EXPECT_TRUE(s.insert(3));
+    EXPECT_TRUE(s.contains(3));
+}
+
+TEST(FlatSet, EqualityIsValueBased)
+{
+    FlatSet<Addr> a, b;
+    for (Addr v : {4, 2, 8})
+        a.insert(v);
+    for (Addr v : {8, 4, 2}) // different insertion order
+        b.insert(v);
+    EXPECT_EQ(a, b);
+    b.insert(16);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace delorean
