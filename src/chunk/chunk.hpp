@@ -12,10 +12,10 @@
 #define DELOREAN_CHUNK_CHUNK_HPP_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "common/word_map.hpp"
 #include "signature/signature.hpp"
 #include "trace/thread_context.hpp"
 
@@ -62,7 +62,9 @@ struct Chunk
     /// Buffered speculative stores, in program order, word granular.
     std::vector<std::pair<Addr, std::uint64_t>> writes;
     /// Last buffered value per word, for same-chunk load forwarding.
-    std::unordered_map<Addr, std::uint64_t> writeMap;
+    /// Flat epoch-cleared map: recycling costs O(1), probing one or
+    /// two cache lines (this is the hottest lookup in the engine).
+    WordMap writeMap;
 
     SignaturePair sigs;
 
@@ -121,10 +123,10 @@ struct Chunk
     bool
     forward(Addr word_addr, std::uint64_t &value) const
     {
-        const auto it = writeMap.find(word_addr);
-        if (it == writeMap.end())
+        const std::uint64_t *stored = writeMap.find(word_addr);
+        if (!stored)
             return false;
-        value = it->second;
+        value = *stored;
         return true;
     }
 };

@@ -33,6 +33,14 @@ class FlatSet
     bool
     insert(const T &value)
     {
+        // Hot path: chunk access streams revisit the newest line far
+        // more often than they introduce a smaller one.
+        if (values_.empty() || values_.back() < value) {
+            values_.push_back(value);
+            return true;
+        }
+        if (values_.back() == value)
+            return false;
         const auto it =
             std::lower_bound(values_.begin(), values_.end(), value);
         if (it != values_.end() && *it == value)

@@ -1,7 +1,9 @@
 #include "compress/lz77.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 
 #include "common/bitstream.hpp"
 
@@ -23,6 +25,37 @@ constexpr unsigned kHashSize = 1u << 15;
 constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 
 /**
+ * Length of the common prefix of @p a and @p b, up to @p limit bytes.
+ * Compares eight bytes per step; the XOR of the first differing words
+ * locates the exact mismatch byte, so the result is identical to a
+ * byte-at-a-time scan.
+ */
+inline std::size_t
+matchLength(const std::uint8_t *a, const std::uint8_t *b,
+            std::size_t limit)
+{
+    std::size_t len = 0;
+    while (len + 8 <= limit) {
+        std::uint64_t wa, wb;
+        std::memcpy(&wa, a + len, 8);
+        std::memcpy(&wb, b + len, 8);
+        if (wa != wb) {
+            if constexpr (std::endian::native == std::endian::little)
+                return len
+                       + (static_cast<unsigned>(
+                              std::countr_zero(wa ^ wb))
+                          >> 3);
+            else
+                break; // fall through to the byte loop
+        }
+        len += 8;
+    }
+    while (len < limit && a[len] == b[len])
+        ++len;
+    return len;
+}
+
+/**
  * Shared greedy LZ77 tokenizer. Calls @p emit_literal / @p emit_match
  * for every token, in order.
  */
@@ -33,8 +66,14 @@ tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
 {
     const std::size_t n = input.size();
     const std::size_t window = std::size_t{1} << cfg.windowBits;
-    std::vector<std::uint32_t> head(kHashSize, kNoPos);
-    std::vector<std::uint32_t> prev(n, kNoPos);
+    // Reused across calls: campaigns compress thousands of logs, and
+    // the head table + chain links dominated the allocator profile.
+    // prev needs no clearing — a chain only ever reaches positions
+    // that were inserted this call, and insertion writes prev first.
+    static thread_local std::vector<std::uint32_t> head;
+    static thread_local std::vector<std::uint32_t> prev;
+    head.assign(kHashSize, kNoPos);
+    prev.resize(n);
 
     std::size_t pos = 0;
     while (pos < n) {
@@ -48,11 +87,10 @@ tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
                 const std::size_t dist = pos - cand;
                 if (dist > window)
                     break;
-                std::size_t len = 0;
                 const std::size_t limit =
                     std::min<std::size_t>(cfg.maxMatch, n - pos);
-                while (len < limit && input[cand + len] == input[pos + len])
-                    ++len;
+                const std::size_t len =
+                    matchLength(&input[cand], &input[pos], limit);
                 if (len > best_len) {
                     best_len = len;
                     best_dist = dist;

@@ -31,31 +31,30 @@ CsLog::sizeBits() const
            * (mode_.csDistanceBits + mode_.csSizeBits);
 }
 
-std::vector<std::uint8_t>
+void
+CsLog::pack(const CsEntry &entry)
+{
+    if (mode_.mode == ExecMode::kOrderAndSize) {
+        if (entry.maxSize) {
+            packed_.write(1, 1);
+        } else {
+            packed_.write(0, 1);
+            packed_.write(clampBits(entry.size, 11), 11);
+        }
+        return;
+    }
+    const std::uint64_t distance = entry.seq - last_trunc_;
+    packed_.write(clampBits(distance, mode_.csDistanceBits),
+                  mode_.csDistanceBits);
+    packed_.write(clampBits(entry.size, mode_.csSizeBits),
+                  mode_.csSizeBits);
+    last_trunc_ = entry.seq;
+}
+
+const std::vector<std::uint8_t> &
 CsLog::packedBytes() const
 {
-    BitWriter writer;
-    if (mode_.mode == ExecMode::kOrderAndSize) {
-        for (const auto &e : entries_) {
-            if (e.maxSize) {
-                writer.write(1, 1);
-            } else {
-                writer.write(0, 1);
-                writer.write(clampBits(e.size, 11), 11);
-            }
-        }
-    } else {
-        ChunkSeq last_trunc = 0;
-        for (const auto &e : entries_) {
-            const std::uint64_t distance = e.seq - last_trunc;
-            writer.write(clampBits(distance, mode_.csDistanceBits),
-                         mode_.csDistanceBits);
-            writer.write(clampBits(e.size, mode_.csSizeBits),
-                         mode_.csSizeBits);
-            last_trunc = e.seq;
-        }
-    }
-    return writer.bytes();
+    return packed_.bytes();
 }
 
 } // namespace delorean

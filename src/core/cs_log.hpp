@@ -47,6 +47,7 @@ class CsLog
     appendCommittedSize(ChunkSeq seq, InstrCount size, bool is_max)
     {
         entries_.push_back(CsEntry{seq, size, is_max});
+        pack(entries_.back());
     }
 
     /**
@@ -57,6 +58,7 @@ class CsLog
     appendTruncation(ChunkSeq seq, InstrCount size)
     {
         entries_.push_back(CsEntry{seq, size, false});
+        pack(entries_.back());
     }
 
     const std::vector<CsEntry> &entries() const { return entries_; }
@@ -66,13 +68,22 @@ class CsLog
     std::uint64_t sizeBits() const;
 
     /** Bit-packed image for compression measurement. */
-    std::vector<std::uint8_t> packedBytes() const;
+    const std::vector<std::uint8_t> &packedBytes() const;
+
+    /** Accumulator spills performed by the packed writer. */
+    std::uint64_t wordFlushes() const { return packed_.wordFlushes(); }
 
     const ModeConfig &mode() const { return mode_; }
 
   private:
+    /// Bit-pack one entry as it is appended (format is a pure
+    /// function of the mode), so packedBytes() is O(1) per call.
+    void pack(const CsEntry &entry);
+
     ModeConfig mode_;
     std::vector<CsEntry> entries_;
+    BitWriter packed_;
+    ChunkSeq last_trunc_ = 0; ///< distance-encoding reference point
 };
 
 /**

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 #include "trace/layout.hpp"
 
@@ -15,6 +19,15 @@ namespace
 
 /// Safety valve against structural deadlock / runaway simulations.
 constexpr std::uint64_t kMaxEvents = 2'000'000'000ull;
+
+/// Per-instruction rollback snapshots copy every ThreadContext field
+/// before mappedSegs (which generate() can only set one bit of, undone
+/// separately). mappedSegs must therefore stay the last member.
+static_assert(std::is_trivially_copyable_v<ThreadContext>);
+constexpr std::size_t kCtxRollbackBytes =
+    offsetof(ThreadContext, mappedSegs);
+static_assert(kCtxRollbackBytes + sizeof(std::bitset<2048>)
+              == sizeof(ThreadContext));
 
 } // namespace
 
@@ -37,6 +50,9 @@ ChunkEngine::ChunkEngine(const Workload &workload,
       procs_(n_)
 {
     assert(workload.numProcs() == n_);
+    if (const char *env = std::getenv("DELOREAN_NO_SUMMARY_FILTER"))
+        summary_filter_ = !(*env && *env != '0');
+    proc_unions_.resize(n_);
     workload_.initializeMemory(mem_);
     const unsigned l1_sets =
         machine_.mem.l1SizeBytes / kLineBytes / machine_.mem.l1Ways;
@@ -113,6 +129,9 @@ ChunkEngine::record()
     for (ProcId p = 0; p < n_; ++p)
         stats_.perProcStallCycles[p] = procs_[p].stallCycles;
     stats_.traffic = dir_.traffic();
+    stats_.logWordFlushes = rec.pi.wordFlushes();
+    for (const CsLog &log : rec.cs)
+        stats_.logWordFlushes += log.wordFlushes();
     stats_.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now()
                                       - wall_start)
@@ -249,6 +268,19 @@ ChunkEngine::runLoop()
     while (!events_.empty()) {
         const Event ev = events_.top();
         events_.pop();
+        // Commit-finish events only wake the arbiter, and the arbiter
+        // drains every grantable request per wakeup — so adjacent
+        // wakeups at the same cycle are one drain pass. (Request
+        // arrivals are NOT coalescible: their order is the FCFS queue
+        // order and thus architectural.)
+        if (ev.kind == EvKind::kCommitFinish) {
+            while (!events_.empty()
+                   && events_.top().kind == EvKind::kCommitFinish
+                   && events_.top().time == ev.time) {
+                events_.pop();
+                ++stats_.arbiterWakeupsCoalesced;
+            }
+        }
         last_time_ = std::max(last_time_, ev.time);
         handleEvent(ev);
         if (++handled > kMaxEvents)
@@ -481,7 +513,14 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
             reason = ChunkEnd::kProgramEnd;
             break;
         }
-        scratch_pre_ctx_ = ps.ctx;
+        // Pre-instruction rollback snapshot. generate() can touch any
+        // small field but at most SETS one mappedSegs bit (first-touch
+        // trap), so the snapshot covers only the prefix before
+        // mappedSegs and the rollback clears that single bit — not a
+        // 256-byte bitset copy per instruction.
+        std::memcpy(static_cast<void *>(&scratch_pre_ctx_),
+                    static_cast<const void *>(&ps.ctx),
+                    kCtxRollbackBytes);
         const Instr in = prog.generate(ps.ctx);
         std::uint64_t value = 0;
 
@@ -495,7 +534,20 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
             if (writesMemory(in.op)
                 && !c.extra.linesWritten.contains(line)
                 && spec_[p].wouldOverflow(line)) {
-                ps.ctx = scratch_pre_ctx_;
+                // Undo this generate() call: restore the small fields,
+                // and if it fired the first-touch trap (the only path
+                // that writes mappedSegs), clear the one bit it set.
+                const bool trap_fired = scratch_pre_ctx_.trapRemaining == 0
+                                        && ps.ctx.trapRemaining > 0;
+                const unsigned trap_seg =
+                    trap_fired ? AddressLayout::privateSegment(
+                                     ps.ctx.pendingAccess.addr)
+                               : 0;
+                std::memcpy(static_cast<void *>(&ps.ctx),
+                            static_cast<const void *>(&scratch_pre_ctx_),
+                            kCtxRollbackBytes);
+                if (trap_fired)
+                    ps.ctx.mappedSegs.reset(trap_seg);
                 if (i == 0)
                     blocked = true;
                 else
@@ -608,6 +660,7 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
         std::max<Cycle>(1, static_cast<Cycle>(cost + 0.5));
     c.finishTime = now + duration;
     schedule(now + duration, EvKind::kChunkDone, p, c.extra.uid);
+    noteChunkInflight(p, c);
     ps.inflight.push_back(std::move(chunk));
 }
 
@@ -699,6 +752,7 @@ ChunkEngine::squashFrom(ProcId p, std::size_t idx, Cycle now)
     }
     ps.inflight.erase(ps.inflight.begin() + static_cast<long>(idx),
                       ps.inflight.end());
+    rebuildProcUnion(p);
 
     ps.pendingRemainder = 0;
     ps.nextSeq = r.seq;
@@ -718,7 +772,7 @@ ChunkEngine::squashFrom(ProcId p, std::size_t idx, Cycle now)
 bool
 ChunkEngine::conflictsWith(const EngineChunk &running,
                            const std::vector<Addr> &write_lines,
-                           const Signature &write_sig) const
+                           const Signature &write_sig)
 {
     if (machine_.bulk.exactDisambiguation) {
         for (const Addr line : write_lines) {
@@ -728,7 +782,89 @@ ChunkEngine::conflictsWith(const EngineChunk &running,
         }
         return false;
     }
-    return running.sigs.conflictsWithWrite(write_sig);
+    return sigConflict(running.sigs, write_sig);
+}
+
+bool
+ChunkEngine::sigConflict(const SignaturePair &running,
+                         const Signature &wsig)
+{
+    if (!summary_filter_)
+        return running.read.intersectsWords(wsig)
+               || running.write.intersectsWords(wsig);
+    bool conflict = false;
+    if (wsig.summaryIntersects(running.read)) {
+        ++stats_.sigSummaryHits;
+        conflict = wsig.intersectsWords(running.read);
+    } else {
+        ++stats_.sigSummaryRejects;
+    }
+    if (!conflict) {
+        if (wsig.summaryIntersects(running.write)) {
+            ++stats_.sigSummaryHits;
+            conflict = wsig.intersectsWords(running.write);
+        } else {
+            ++stats_.sigSummaryRejects;
+        }
+    }
+    return conflict;
+}
+
+void
+ChunkEngine::sweepConflicts(ProcId committing,
+                            const std::vector<Addr> &write_lines,
+                            const Signature &write_sig, Cycle now)
+{
+    if (write_lines.empty())
+        return; // an empty write set can never conflict
+    bool walked = false;
+    for (ProcId q = 0; q < n_; ++q) {
+        if (q == committing)
+            continue;
+        auto &other = procs_[q].inflight;
+        if (other.empty())
+            continue;
+        // The per-processor union over-approximates every in-flight
+        // chunk's signatures, so a committing write that misses it in
+        // any bank cannot conflict with any of q's chunks — even
+        // under exact disambiguation, where a line conflict implies a
+        // signature conflict.
+        if (summary_filter_ && !write_sig.intersects(proc_unions_[q]))
+            continue;
+        walked = true;
+        for (std::size_t k = 0; k < other.size(); ++k) {
+            if (conflictsWith(*other[k], write_lines, write_sig)) {
+                squashFrom(q, k, now);
+                break;
+            }
+        }
+    }
+    if (summary_filter_ && !walked)
+        ++stats_.unionSweepSkips;
+    else
+        ++stats_.conflictSweeps;
+}
+
+void
+ChunkEngine::noteChunkInflight(ProcId p, const EngineChunk &chunk)
+{
+    proc_unions_[p].unionWith(chunk.sigs.read);
+    proc_unions_[p].unionWith(chunk.sigs.write);
+}
+
+void
+ChunkEngine::rebuildProcUnion(ProcId p)
+{
+    // The union cannot subtract, so recompute it from the processor's
+    // surviving chunks whenever one leaves the window. clear() is an
+    // epoch bump and the window holds only a handful of chunks, so
+    // this stays cheap enough to run on every commit and squash.
+    Signature &u = proc_unions_[p];
+    u.clear();
+    for (const auto &c : procs_[p].inflight) {
+        u.unionWith(c->sigs.read);
+        u.unionWith(c->sigs.write);
+    }
 }
 
 unsigned
@@ -1040,21 +1176,9 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     // being copied, and the buffers are recycled afterwards.
     auto committed = std::move(ps.inflight.front());
     ps.inflight.pop_front();
-    if (!committed->writtenLines.empty()) {
-        for (ProcId q = 0; q < n_; ++q) {
-            if (q == p)
-                continue;
-            auto &other = procs_[q].inflight;
-            for (std::size_t k = 0; k < other.size(); ++k) {
-                if (conflictsWith(*other[k], committed->writtenLines,
-                                  committed->sigs.write)) {
-                    squashFrom(q, k, now);
-                    break;
-                }
-            }
-        }
-    }
+    sweepConflicts(p, committed->writtenLines, committed->sigs.write, now);
     recycleChunk(std::move(committed));
+    rebuildProcUnion(p);
 
     // ----- resume this processor ------------------------------------------
     ps.blockedOnOverflow = false;
@@ -1120,15 +1244,7 @@ ChunkEngine::grantDma(Cycle now)
     }
     dir_.countLineTransfer();
 
-    for (ProcId q = 0; q < n_; ++q) {
-        auto &other = procs_[q].inflight;
-        for (std::size_t k = 0; k < other.size(); ++k) {
-            if (conflictsWith(*other[k], wlines, wsig)) {
-                squashFrom(q, k, now);
-                break;
-            }
-        }
-    }
+    sweepConflicts(kDmaProcId, wlines, wsig, now);
 
     ++dma_granted_;
     ++gcc_;

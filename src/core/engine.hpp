@@ -246,7 +246,29 @@ class ChunkEngine
     /** Does a committing write set conflict with @p running? */
     bool conflictsWith(const EngineChunk &running,
                        const std::vector<Addr> &write_lines,
-                       const Signature &write_sig) const;
+                       const Signature &write_sig);
+
+    // ----- commit fast path ----------------------------------------------
+    /// Summary-filtered signature intersection with stats accounting.
+    bool sigConflict(const SignaturePair &running,
+                     const Signature &write_sig);
+    /// Squash every running chunk conflicting with a committed write
+    /// set; processors whose in-flight union provably misses the
+    /// write signature are skipped without walking their chunks.
+    void sweepConflicts(ProcId committing, const std::vector<Addr> &wlines,
+                        const Signature &wsig, Cycle now);
+    void noteChunkInflight(ProcId p, const EngineChunk &chunk);
+    void rebuildProcUnion(ProcId p);
+
+    /// DELOREAN_NO_SUMMARY_FILTER=1 escape hatch: fall back to full
+    /// word-level intersections and per-chunk sweeps.
+    bool summary_filter_ = true;
+    /// Per-processor OR of that processor's in-flight chunk R and W
+    /// signatures. Exact over the live window: rebuilt whenever
+    /// chunks leave it (commit pop or squash), which is cheap because
+    /// a processor holds at most a handful of simultaneous chunks and
+    /// clear() is an epoch bump.
+    std::vector<Signature> proc_unions_;
 
     // ----- arbiter -------------------------------------------------------
     void arbiterProcess(Cycle now);

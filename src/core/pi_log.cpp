@@ -29,21 +29,21 @@ PiLog::PiLog(unsigned num_procs)
 void
 PiLog::append(ProcId proc)
 {
+    std::uint16_t code;
     if (proc == kDmaProcId) {
-        entries_.push_back(dma_code_);
+        code = dma_code_;
     } else {
         assert(proc < num_procs_);
-        entries_.push_back(static_cast<std::uint16_t>(proc));
+        code = static_cast<std::uint16_t>(proc);
     }
+    entries_.push_back(code);
+    packed_.write(code, entry_bits_);
 }
 
-std::vector<std::uint8_t>
+const std::vector<std::uint8_t> &
 PiLog::packedBytes() const
 {
-    BitWriter writer;
-    for (const auto entry : entries_)
-        writer.write(entry, entry_bits_);
-    return writer.bytes();
+    return packed_.bytes();
 }
 
 } // namespace delorean

@@ -52,13 +52,19 @@ class PiLog
     std::uint64_t sizeBits() const { return entries_.size() * entry_bits_; }
 
     /** Bit-packed image (for LZ77 compression measurement). */
-    std::vector<std::uint8_t> packedBytes() const;
+    const std::vector<std::uint8_t> &packedBytes() const;
+
+    /** Accumulator spills performed by the packed writer. */
+    std::uint64_t wordFlushes() const { return packed_.wordFlushes(); }
 
   private:
     unsigned num_procs_;
     unsigned entry_bits_;
     std::uint16_t dma_code_;
     std::vector<std::uint16_t> entries_;
+    /// Entries bit-packed as they are appended, so packedBytes() is
+    /// O(1) instead of re-encoding the whole log per measurement.
+    BitWriter packed_;
 };
 
 /** Sequential reader used by the replay arbiter. */

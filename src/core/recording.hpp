@@ -47,6 +47,24 @@ struct EngineStats
     std::uint64_t hardTruncations = 0; ///< I/O, special instructions
     std::uint64_t replaySplitChunks = 0; ///< unexpected-overflow splits
 
+    // --- commit fast path (arbiter conflict filtering) -----------------
+    /// Signature pairs whose per-bank summaries intersected, forcing
+    /// the full word walk.
+    std::uint64_t sigSummaryHits = 0;
+    /// Signature pairs rejected by the summary filter alone — full
+    /// 2048-bit intersections avoided.
+    std::uint64_t sigSummaryRejects = 0;
+    /// Commit-time conflict sweeps that walked no processor: every
+    /// per-processor in-flight union missed the write signature (or
+    /// the other processors were idle).
+    std::uint64_t unionSweepSkips = 0;
+    /// Commit-time conflict sweeps that did walk running chunks.
+    std::uint64_t conflictSweeps = 0;
+    /// Same-cycle arbiter wakeups merged into one drain pass.
+    std::uint64_t arbiterWakeupsCoalesced = 0;
+    /// 64-bit accumulator spills across the PI and CS log writers.
+    std::uint64_t logWordFlushes = 0;
+
     /// Cycles processors spent stalled with all simultaneous chunks
     /// completed but uncommitted (Table 6 "Stall Cycles").
     std::vector<std::uint64_t> perProcStallCycles;

@@ -255,11 +255,11 @@ saveRecording(const Recording &rec, std::ostream &out)
             putContext(out, ckpt.contexts[p]);
             putU64(out, ckpt.committedChunks[p]);
         }
-        putU64(out, ckpt.memory.words().size());
-        for (const auto &[addr, value] : ckpt.memory.words()) {
+        putU64(out, ckpt.memory.population());
+        ckpt.memory.forEachWord([&out](Addr addr, std::uint64_t value) {
             putU64(out, addr);
             putU64(out, value);
-        }
+        });
     }
 
     if (!out)

@@ -27,55 +27,6 @@ Cache::Cache(unsigned size_bytes, unsigned ways)
 {
 }
 
-bool
-Cache::access(Addr line)
-{
-    Way *set = &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
-    ++use_clock_;
-    Way *victim = &set[0];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].line == line) {
-            set[w].lastUse = use_clock_;
-            ++hits_;
-            return true;
-        }
-        if (!set[w].valid) {
-            victim = &set[w];
-        } else if (victim->valid && set[w].lastUse < victim->lastUse) {
-            victim = &set[w];
-        }
-    }
-    ++misses_;
-    victim->valid = true;
-    victim->line = line;
-    victim->lastUse = use_clock_;
-    return false;
-}
-
-bool
-Cache::contains(Addr line) const
-{
-    const Way *set =
-        &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
-    for (unsigned w = 0; w < ways_; ++w)
-        if (set[w].valid && set[w].line == line)
-            return true;
-    return false;
-}
-
-bool
-Cache::invalidate(Addr line)
-{
-    Way *set = &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].line == line) {
-            set[w].valid = false;
-            return true;
-        }
-    }
-    return false;
-}
-
 void
 Cache::reset()
 {
@@ -92,28 +43,6 @@ CacheHierarchy::CacheHierarchy(const MachineConfig &config)
     l1s_.reserve(config.numProcs);
     for (unsigned p = 0; p < config.numProcs; ++p)
         l1s_.emplace_back(config.mem.l1SizeBytes, config.mem.l1Ways);
-}
-
-HitLevel
-CacheHierarchy::access(ProcId proc, Addr line)
-{
-    assert(proc < l1s_.size());
-    if (l1s_[proc].access(line))
-        return HitLevel::kL1;
-    if (l2_.access(line))
-        return HitLevel::kL2;
-    return HitLevel::kMemory;
-}
-
-HitLevel
-CacheHierarchy::probe(ProcId proc, Addr line) const
-{
-    assert(proc < l1s_.size());
-    if (l1s_[proc].contains(line))
-        return HitLevel::kL1;
-    if (l2_.contains(line))
-        return HitLevel::kL2;
-    return HitLevel::kMemory;
 }
 
 void

@@ -41,15 +41,61 @@ class Cache
 
     /**
      * Look up @p line; on miss, fill it (possibly evicting LRU).
-     * @return true on hit.
+     * @return true on hit. Inline: this tag scan runs once per
+     * simulated memory access and dominates the cache model's cost.
      */
-    bool access(Addr line);
+    bool
+    access(Addr line)
+    {
+        Way *set =
+            &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+        ++use_clock_;
+        Way *victim = &set[0];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].line == line) {
+                set[w].lastUse = use_clock_;
+                ++hits_;
+                return true;
+            }
+            if (!set[w].valid) {
+                victim = &set[w];
+            } else if (victim->valid && set[w].lastUse < victim->lastUse) {
+                victim = &set[w];
+            }
+        }
+        ++misses_;
+        victim->valid = true;
+        victim->line = line;
+        victim->lastUse = use_clock_;
+        return false;
+    }
 
     /** Look up without filling or touching LRU state. */
-    bool contains(Addr line) const;
+    bool
+    contains(Addr line) const
+    {
+        const Way *set =
+            &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+        for (unsigned w = 0; w < ways_; ++w)
+            if (set[w].valid && set[w].line == line)
+                return true;
+        return false;
+    }
 
     /** Invalidate @p line if present; returns true if it was. */
-    bool invalidate(Addr line);
+    bool
+    invalidate(Addr line)
+    {
+        Way *set =
+            &ways_storage_[static_cast<std::size_t>(indexOf(line)) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].line == line) {
+                set[w].valid = false;
+                return true;
+            }
+        }
+        return false;
+    }
 
     /** Set index that @p line maps to. */
     unsigned setIndexOf(Addr line) const { return indexOf(line); }
@@ -92,10 +138,26 @@ class CacheHierarchy
     CacheHierarchy(const MachineConfig &config);
 
     /** Access @p line from processor @p proc; fills L1[proc] and L2. */
-    HitLevel access(ProcId proc, Addr line);
+    HitLevel
+    access(ProcId proc, Addr line)
+    {
+        if (l1s_[proc].access(line))
+            return HitLevel::kL1;
+        if (l2_.access(line))
+            return HitLevel::kL2;
+        return HitLevel::kMemory;
+    }
 
     /** Probe-only variant (no state change). */
-    HitLevel probe(ProcId proc, Addr line) const;
+    HitLevel
+    probe(ProcId proc, Addr line) const
+    {
+        if (l1s_[proc].contains(line))
+            return HitLevel::kL1;
+        if (l2_.contains(line))
+            return HitLevel::kL2;
+        return HitLevel::kMemory;
+    }
 
     /** Invalidate @p line in every L1 except @p except (coherence). */
     void invalidateOthers(ProcId except, Addr line);

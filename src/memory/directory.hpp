@@ -13,10 +13,11 @@
 #ifndef DELOREAN_MEMORY_DIRECTORY_HPP_
 #define DELOREAN_MEMORY_DIRECTORY_HPP_
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
 
 #include "common/types.hpp"
+#include "common/word_map.hpp"
 
 namespace delorean
 {
@@ -52,8 +53,8 @@ class Directory
     std::uint64_t
     sharersOf(Addr line) const
     {
-        const auto it = sharers_.find(line);
-        return it == sharers_.end() ? 0 : it->second;
+        const std::uint64_t *mask = sharers_.find(line);
+        return mask ? *mask : 0;
     }
 
     /**
@@ -64,14 +65,10 @@ class Directory
     unsigned
     commitWrite(ProcId writer, Addr line)
     {
-        auto it = sharers_.find(line);
-        unsigned invalidations = 0;
-        if (it != sharers_.end()) {
-            std::uint64_t others = it->second & ~(1ull << writer);
-            invalidations =
-                static_cast<unsigned>(__builtin_popcountll(others));
-        }
-        sharers_[line] = (1ull << writer);
+        std::uint64_t &mask = sharers_[line];
+        const unsigned invalidations = static_cast<unsigned>(
+            std::popcount(mask & ~(1ull << writer)));
+        mask = 1ull << writer;
         traffic_.controlBytes +=
             static_cast<std::uint64_t>(invalidations) * kControlMsgBytes;
         return invalidations;
@@ -105,7 +102,7 @@ class Directory
     }
 
   private:
-    std::unordered_map<Addr, std::uint64_t> sharers_;
+    WordMap sharers_;
     TrafficStats traffic_;
 };
 

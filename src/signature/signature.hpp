@@ -13,12 +13,24 @@
  * Signatures are conservative: intersects() may report a false
  * positive (causing a spurious squash, as in real Bulk hardware) but
  * never a false negative.
+ *
+ * Two commit-fast-path mechanisms live here:
+ *  - Per-bank 64-bit summary words (the OR-fold of the bank's words).
+ *    A bank whose summaries do not intersect cannot intersect at the
+ *    word level, so intersects() walks the full words only on a
+ *    summary hit. The fold preserves conservatism: summary reject
+ *    implies word-level reject, never the other way around.
+ *  - Epoch-versioned clearing. clear() bumps an epoch counter and
+ *    zeroes only the summaries; stale words are lazily treated as
+ *    zero by every accessor. Recycling a chunk's signatures from the
+ *    freelist is O(banks) instead of O(words).
  */
 
 #ifndef DELOREAN_SIGNATURE_SIGNATURE_HPP_
 #define DELOREAN_SIGNATURE_SIGNATURE_HPP_
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -63,7 +75,9 @@ class SignatureT
     {
         for (unsigned b = 0; b < kBanks; ++b) {
             const unsigned bit = bankBit(line, b);
-            words_[b * kBankWords + bit / 64] |= (1ull << (bit % 64));
+            const std::uint64_t mask = 1ull << (bit % 64);
+            orWord(b * kBankWords + bit / 64, mask);
+            summary_[b] |= mask;
         }
     }
 
@@ -73,21 +87,40 @@ class SignatureT
     {
         for (unsigned b = 0; b < kBanks; ++b) {
             const unsigned bit = bankBit(line, b);
-            if (!((words_[b * kBankWords + bit / 64] >> (bit % 64)) & 1ull))
+            const std::uint64_t mask = 1ull << (bit % 64);
+            // Summary fast reject: no word in the bank has this bit
+            // position set, so the exact word cannot either.
+            if (!(summary_[b] & mask))
+                return false;
+            if (!(word(b * kBankWords + bit / 64) & mask))
                 return false;
         }
         return true;
     }
 
-    /** True if the signatures intersect in every bank. */
+    /**
+     * Summary-level filter: true if the per-bank summaries intersect
+     * in every bank. A false return guarantees intersects() is false;
+     * a true return means the full words must be walked.
+     */
     bool
-    intersects(const SignatureT &other) const
+    summaryIntersects(const SignatureT &other) const
+    {
+        for (unsigned b = 0; b < kBanks; ++b)
+            if (!(summary_[b] & other.summary_[b]))
+                return false;
+        return true;
+    }
+
+    /** Word-level intersection test (no summary filter). */
+    bool
+    intersectsWords(const SignatureT &other) const
     {
         for (unsigned b = 0; b < kBanks; ++b) {
             bool bank_hit = false;
             for (unsigned i = 0; i < kBankWords; ++i) {
-                if (words_[b * kBankWords + i]
-                    & other.words_[b * kBankWords + i]) {
+                if (word(b * kBankWords + i)
+                    & other.word(b * kBankWords + i)) {
                     bank_hit = true;
                     break;
                 }
@@ -98,23 +131,51 @@ class SignatureT
         return true;
     }
 
+    /** True if the signatures intersect in every bank. */
+    bool
+    intersects(const SignatureT &other) const
+    {
+        return summaryIntersects(other) && intersectsWords(other);
+    }
+
     /** Bitwise OR @p other into this signature. */
     void
     unionWith(const SignatureT &other)
     {
-        for (unsigned i = 0; i < kWords; ++i)
-            words_[i] |= other.words_[i];
+        for (unsigned b = 0; b < kBanks; ++b) {
+            if (!other.summary_[b])
+                continue; // whole bank empty in other
+            summary_[b] |= other.summary_[b];
+            for (unsigned i = 0; i < kBankWords; ++i) {
+                const std::uint64_t v = other.word(b * kBankWords + i);
+                if (v)
+                    orWord(b * kBankWords + i, v);
+            }
+        }
     }
 
-    /** Clear all bits. */
-    void clear() { words_.fill(0); }
+    /**
+     * Epoch clear: O(banks), not O(words). Words written under an
+     * older epoch read back as zero until re-written.
+     */
+    void
+    clear()
+    {
+        summary_.fill(0);
+        if (++epoch_ == 0) {
+            // Epoch counter wrapped: genuinely reset so that stale
+            // words from 2^32 clears ago cannot resurface.
+            words_.fill(0);
+            word_epoch_.fill(0);
+        }
+    }
 
     /** True if no bit is set. */
     bool
     empty() const
     {
-        for (const auto w : words_)
-            if (w)
+        for (const auto s : summary_)
+            if (s)
                 return false;
         return true;
     }
@@ -124,14 +185,46 @@ class SignatureT
     popCount() const
     {
         unsigned count = 0;
-        for (const auto w : words_)
-            count += static_cast<unsigned>(__builtin_popcountll(w));
+        for (unsigned b = 0; b < kBanks; ++b) {
+            if (!summary_[b])
+                continue;
+            for (unsigned i = 0; i < kBankWords; ++i)
+                count += static_cast<unsigned>(
+                    std::popcount(word(b * kBankWords + i)));
+        }
         return count;
     }
 
-    bool operator==(const SignatureT &) const = default;
+    /** Logical equality (epoch representation is ignored). */
+    bool
+    operator==(const SignatureT &other) const
+    {
+        for (unsigned i = 0; i < kWords; ++i)
+            if (word(i) != other.word(i))
+                return false;
+        return true;
+    }
 
   private:
+    /** Word @p i with stale (pre-clear) content read as zero. */
+    std::uint64_t
+    word(unsigned i) const
+    {
+        return word_epoch_[i] == epoch_ ? words_[i] : 0;
+    }
+
+    /** OR @p mask into word @p i, reviving it if stale. */
+    void
+    orWord(unsigned i, std::uint64_t mask)
+    {
+        if (word_epoch_[i] == epoch_) {
+            words_[i] |= mask;
+        } else {
+            word_epoch_[i] = epoch_;
+            words_[i] = mask;
+        }
+    }
+
     /**
      * Bit index within bank @p b for line address @p line: a folded
      * bit-field of the address starting at the bank's shift.
@@ -149,6 +242,11 @@ class SignatureT
     }
 
     std::array<std::uint64_t, kWords> words_{};
+    /// Per-word epoch tags; a word is live only when its tag matches.
+    std::array<std::uint32_t, kWords> word_epoch_{};
+    /// Per-bank OR-fold of the bank's live words.
+    std::array<std::uint64_t, kBanks> summary_{};
+    std::uint32_t epoch_ = 0;
 };
 
 /** The machine's signature width (Table 5: 2 Kbit). */

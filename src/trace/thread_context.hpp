@@ -97,7 +97,6 @@ struct ThreadContext
     std::uint16_t trapRemaining = 0;
     bool hasPendingAccess = false;
     Instr pendingAccess;
-    std::bitset<2048> mappedSegs; ///< 8 KB segments already touched
 
     // Interrupt handler: injected kernel work preempting any state.
     std::uint16_t handlerRemaining = 0;
@@ -108,6 +107,14 @@ struct ThreadContext
     std::uint64_t ioLoadCount = 0;
 
     bool done = false;
+
+    /// 8 KB segments already touched (first-touch trap model). Kept
+    /// LAST so the engine's per-instruction rollback snapshot can
+    /// cover every other field with one small prefix copy: generate()
+    /// sets at most one segment bit per call (and never clears any),
+    /// so the rollback undoes that single bit instead of copying the
+    /// whole bitset on every instruction.
+    std::bitset<2048> mappedSegs;
 
     /** Fingerprint contribution of this thread's final state. */
     std::uint64_t

@@ -121,5 +121,52 @@ TEST(BitStream, ByteCountMatchesBits)
     EXPECT_EQ(w.bytes().size(), 3u);
 }
 
+/// The historical bit-at-a-time writer, kept as the reference the
+/// batched accumulator must match bit for bit.
+struct ReferenceWriter
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t bits = 0;
+
+    void
+    write(std::uint64_t value, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i) {
+            if (bits % 8 == 0)
+                bytes.push_back(0);
+            if ((value >> i) & 1ull)
+                bytes.back() |=
+                    static_cast<std::uint8_t>(1u << (bits % 8));
+            ++bits;
+        }
+    }
+};
+
+TEST(BitStream, BatchedMatchesBitAtATimeReference)
+{
+    Xoshiro256ss rng(77);
+    for (unsigned trial = 0; trial < 50; ++trial) {
+        BitWriter batched;
+        ReferenceWriter ref;
+        const unsigned writes =
+            1 + static_cast<unsigned>(rng.next() % 400);
+        for (unsigned i = 0; i < writes; ++i) {
+            const unsigned width =
+                static_cast<unsigned>(rng.next() % 65);
+            const std::uint64_t value = rng.next();
+            batched.write(value, width);
+            ref.write(value, width);
+            // Interleave reads: bytes() must not disturb later
+            // accumulator spills.
+            if (rng.next() % 8 == 0) {
+                ASSERT_EQ(batched.bytes(), ref.bytes);
+            }
+        }
+        ASSERT_EQ(batched.bitCount(), ref.bits);
+        ASSERT_EQ(batched.bytes(), ref.bytes);
+        EXPECT_EQ(batched.wordFlushes(), ref.bits / 64);
+    }
+}
+
 } // namespace
 } // namespace delorean

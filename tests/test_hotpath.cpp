@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the arbiter commit fast path: the summary/union conflict
+ * filters must be invisible to the architecture (byte-identical
+ * recordings with the filter on and off), and the epoch-cleared flat
+ * maps backing it must behave like their straightforward reference
+ * counterparts under churn.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/word_map.hpp"
+#include "core/recorder.hpp"
+#include "core/serialize.hpp"
+#include "memory/memory_state.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+constexpr std::uint64_t kSeed = 20080621;
+
+std::string
+serialized(const Recording &rec)
+{
+    std::ostringstream out;
+    saveRecording(rec, out);
+    return out.str();
+}
+
+Recording
+recordSmall(const char *app, bool exact_disambiguation, bool filter)
+{
+    if (filter)
+        unsetenv("DELOREAN_NO_SUMMARY_FILTER");
+    else
+        setenv("DELOREAN_NO_SUMMARY_FILTER", "1", 1);
+    MachineConfig machine;
+    machine.bulk.exactDisambiguation = exact_disambiguation;
+    const Workload workload(app, machine.numProcs, kSeed,
+                            WorkloadScale{3});
+    Recording rec =
+        Recorder(ModeConfig::orderOnly(), machine).record(workload, 7);
+    unsetenv("DELOREAN_NO_SUMMARY_FILTER");
+    return rec;
+}
+
+// The filters are pure short-circuits: disabling them via the escape
+// hatch must reproduce the exact same recording, under both exact and
+// signature disambiguation.
+TEST(CommitFastPath, FilterOnOffRecordingsByteIdentical)
+{
+    for (const bool exact : {true, false}) {
+        const Recording with = recordSmall("radix", exact, true);
+        const Recording without = recordSmall("radix", exact, false);
+        EXPECT_EQ(serialized(with), serialized(without))
+            << "exactDisambiguation=" << exact;
+    }
+}
+
+TEST(CommitFastPath, FilteredRecordingReplaysDeterministically)
+{
+    const Recording rec = recordSmall("fft", false, true);
+    const ReplayOutcome out = Replayer().replay(rec, /*env_seed=*/99);
+    EXPECT_TRUE(out.deterministicExact);
+}
+
+// The filter counters only move when the filter is on; with the
+// escape hatch set, every sweep takes the unfiltered path.
+TEST(CommitFastPath, EscapeHatchDisablesFilterCounters)
+{
+    const Recording without = recordSmall("radix", false, false);
+    EXPECT_EQ(without.stats.sigSummaryRejects, 0u);
+    EXPECT_EQ(without.stats.sigSummaryHits, 0u);
+    EXPECT_EQ(without.stats.unionSweepSkips, 0u);
+    EXPECT_GT(without.stats.conflictSweeps, 0u);
+
+    const Recording with = recordSmall("radix", false, true);
+    EXPECT_GT(with.stats.sigSummaryRejects + with.stats.sigSummaryHits,
+              0u);
+}
+
+// WordMap's epoch clear must make the map indistinguishable from a
+// fresh one, across many clear cycles and across growth.
+TEST(WordMap, EpochClearAndGrowthMatchReference)
+{
+    Xoshiro256ss rng(21);
+    WordMap map;
+    for (unsigned cycle = 0; cycle < 50; ++cycle) {
+        std::unordered_map<Addr, std::uint64_t> ref;
+        // Vary the population so some cycles force growth while
+        // earlier epochs' slots are still physically present.
+        const unsigned inserts =
+            10 + static_cast<unsigned>(rng.next() % 3000);
+        for (unsigned i = 0; i < inserts; ++i) {
+            const Addr key = rng.next() % 2048;
+            const std::uint64_t value = rng.next();
+            map[key] = value;
+            ref[key] = value;
+        }
+        ASSERT_EQ(map.size(), ref.size());
+        for (const auto &[key, value] : ref) {
+            const std::uint64_t *found = map.find(key);
+            ASSERT_NE(found, nullptr);
+            ASSERT_EQ(*found, value);
+        }
+        // Keys from the previous epoch must read as absent.
+        for (unsigned probe = 0; probe < 100; ++probe) {
+            const Addr key = rng.next() % 4096;
+            ASSERT_EQ(map.contains(key), ref.count(key) != 0);
+        }
+        map.clear();
+        ASSERT_TRUE(map.empty());
+        ASSERT_EQ(map.find(rng.next() % 2048), nullptr);
+    }
+}
+
+TEST(WordMap, OperatorBracketDefaultsToZero)
+{
+    WordMap map;
+    EXPECT_EQ(map[42], 0u);
+    map[42] += 7;
+    EXPECT_EQ(map[42], 7u);
+    map.clear();
+    EXPECT_EQ(map[42], 0u);
+}
+
+// MemoryState's open-addressed table erases entries when a word is
+// restored to its deterministic initial value; randomized churn must
+// match a reference model, exercising backward-shift deletion.
+TEST(MemoryState, RandomChurnMatchesReference)
+{
+    Xoshiro256ss rng(22);
+    MemoryState mem;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    for (unsigned step = 0; step < 50000; ++step) {
+        // Small key range so stores, overwrites and resets to the
+        // initial value (deletions) all happen often and cluster.
+        const Addr addr = (rng.next() % 1500) * 8;
+        if (rng.next() % 4 == 0) {
+            mem.store(addr, MemoryState::initValue(addr));
+            ref.erase(addr);
+        } else {
+            const std::uint64_t value = rng.next();
+            mem.store(addr, value);
+            ref[addr] = value;
+        }
+        if (step % 64 == 0) {
+            const Addr probe = (rng.next() % 1500) * 8;
+            const auto it = ref.find(probe);
+            const std::uint64_t expect = it != ref.end()
+                                             ? it->second
+                                             : MemoryState::initValue(probe);
+            ASSERT_EQ(mem.load(probe), expect);
+        }
+    }
+    ASSERT_EQ(mem.population(), ref.size());
+    for (const auto &[addr, value] : ref)
+        ASSERT_EQ(mem.load(addr), value);
+
+    // forEachWord must visit exactly the live entries.
+    std::size_t visited = 0;
+    mem.forEachWord([&](Addr addr, std::uint64_t value) {
+        ++visited;
+        const auto it = ref.find(addr);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(it->second, value);
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+} // namespace
+} // namespace delorean

@@ -179,5 +179,92 @@ TEST(SignaturePair, ClearBoth)
     EXPECT_TRUE(p.write.empty());
 }
 
+// The summary filter is only allowed to short-circuit, never to
+// change the answer: intersects() must agree with the unfiltered
+// word walk on every pair, across densities from near-empty to
+// saturated.
+TEST(Signature, SummaryFilterMatchesWordWalk)
+{
+    Xoshiro256ss rng(11);
+    for (unsigned trial = 0; trial < 400; ++trial) {
+        Signature a, b;
+        const unsigned na = 1 + static_cast<unsigned>(rng.next() % 200);
+        const unsigned nb = 1 + static_cast<unsigned>(rng.next() % 200);
+        const Addr base = rng.next() % 4096;
+        for (unsigned i = 0; i < na; ++i)
+            a.insert(base + rng.next() % 512);
+        for (unsigned i = 0; i < nb; ++i)
+            b.insert(rng.next() % 8192);
+        EXPECT_EQ(a.intersects(b), a.intersectsWords(b));
+        EXPECT_EQ(b.intersects(a), b.intersectsWords(a));
+    }
+}
+
+// A summary reject must imply a word-walk miss (conservatism: the
+// filter may only produce false *hits*, never false rejects).
+TEST(Signature, SummaryRejectImpliesNoIntersection)
+{
+    Xoshiro256ss rng(12);
+    for (unsigned trial = 0; trial < 400; ++trial) {
+        Signature a, b;
+        for (unsigned i = 0; i < 40; ++i) {
+            a.insert(rng.next() % 2048);
+            b.insert(rng.next() % 2048);
+        }
+        if (!a.summaryIntersects(b)) {
+            EXPECT_FALSE(a.intersectsWords(b));
+        }
+    }
+}
+
+// Epoch-versioned clear: a cleared signature behaves exactly like a
+// freshly constructed one, including equality, union and
+// intersection, no matter how many clears preceded it.
+TEST(Signature, EpochClearBehavesLikeFresh)
+{
+    Xoshiro256ss rng(13);
+    Signature reused;
+    for (unsigned cycle = 0; cycle < 300; ++cycle) {
+        for (unsigned i = 0; i < 30; ++i)
+            reused.insert(rng.next() % 4096);
+        reused.clear();
+        EXPECT_TRUE(reused.empty());
+        EXPECT_EQ(reused.popCount(), 0u);
+
+        // Re-populate and compare against a genuinely fresh one.
+        Signature fresh;
+        const Addr base = rng.next() % 1024;
+        for (unsigned i = 0; i < 8; ++i) {
+            reused.insert(base + i);
+            fresh.insert(base + i);
+        }
+        EXPECT_TRUE(reused == fresh);
+        EXPECT_TRUE(reused.mayContain(base));
+        EXPECT_TRUE(reused.intersects(fresh));
+        EXPECT_EQ(reused.popCount(), fresh.popCount());
+        reused.clear();
+    }
+}
+
+// Stale pre-clear words must not leak through unionWith either.
+TEST(Signature, EpochClearThenUnion)
+{
+    Signature src, dst;
+    src.insert(100);
+    src.insert(200);
+    src.clear();
+    src.insert(300);
+
+    dst.unionWith(src);
+    Signature expect;
+    expect.insert(300);
+    EXPECT_TRUE(dst == expect);
+
+    Signature old_lines;
+    old_lines.insert(100);
+    old_lines.insert(200);
+    EXPECT_FALSE(dst.intersects(old_lines));
+}
+
 } // namespace
 } // namespace delorean
