@@ -1,0 +1,159 @@
+/**
+ * @file
+ * validate_sweep: the exhaustive version of validate_smoke.
+ *
+ * Runs the cross-mode differential check on every SPLASH-2
+ * application and a >=600-mutant fault-injection sweep (all five
+ * mutation kinds x all three modes), fanning mutants across host
+ * cores. Results land in BENCH_validate.json (override the path with
+ * DELOREAN_VALIDATE_JSON); campaign throughput is merged into
+ * BENCH_campaign.json like every other harness.
+ *
+ * This is the acceptance gate the PR's ISSUE names: the sweep must
+ * complete — under ASan+UBSan in CI — with zero crashes, hangs or
+ * silent wrong answers, and the differential check must pass on all
+ * eleven applications.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/recorder.hpp"
+#include "core/serialize.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/workload.hpp"
+#include "validate/differential.hpp"
+#include "validate/fault_injector.hpp"
+
+using namespace delorean;
+using delorean_bench::BenchCampaign;
+
+namespace
+{
+
+constexpr unsigned kMutantsPerKind = 40; // x5 kinds x3 modes = 600
+
+std::string
+validateReportPath()
+{
+    if (const char *env = std::getenv("DELOREAN_VALIDATE_JSON"))
+        return env;
+    return "BENCH_validate.json";
+}
+
+void
+writeReport(const std::vector<DifferentialResult> &diffs,
+            const FaultSweepSummary &sweep, bool ok)
+{
+    std::ostringstream out;
+    out << "{\n  \"differential\": {\n";
+    for (std::size_t i = 0; i < diffs.size(); ++i) {
+        const DifferentialResult &d = diffs[i];
+        out << "    \"" << d.job.app << "\": {\"ok\": "
+            << (d.ok() ? "true" : "false");
+        for (const DifferentialRun &r : d.runs)
+            out << ", \"" << r.label
+                << "_bits\": " << r.totalLogBits();
+        out << "}" << (i + 1 < diffs.size() ? "," : "") << "\n";
+    }
+    out << "  },\n  \"fault_sweep\": {\n"
+        << "    \"total\": " << sweep.total << ",\n"
+        << "    \"rejected_at_load\": " << sweep.rejectedAtLoad << ",\n"
+        << "    \"replayed_identically\": " << sweep.replayedIdentically
+        << ",\n"
+        << "    \"divergence_detected\": " << sweep.divergenceDetected
+        << ",\n"
+        << "    \"replay_error_reported\": " << sweep.replayErrorReported
+        << ",\n"
+        << "    \"unexpected\": " << sweep.unexpected << "\n"
+        << "  },\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+
+    const std::string path = validateReportPath();
+    std::ofstream file(path, std::ios::trunc);
+    if (file)
+        file << out.str();
+    else
+        std::fprintf(stderr, "validate_sweep: cannot write %s\n",
+                     path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    DifferentialJob base;
+    base.scalePercent = delorean_bench::benchScale(base.scalePercent);
+
+    delorean_bench::header(
+        "validate_sweep",
+        "replay of any mode reproduces the recording; corrupt logs "
+        "are rejected or produce a localized divergence, never a "
+        "crash or hang");
+
+    // Differential check, all applications. The checker fans each
+    // job's four mode runs across the worker pool itself.
+    const DifferentialChecker checker;
+    const std::vector<DifferentialResult> diffs =
+        checker.checkAllApps(base);
+    bool ok = true;
+    unsigned diff_ok = 0;
+    for (const DifferentialResult &d : diffs) {
+        std::puts(d.describe().c_str());
+        ok = ok && d.ok();
+        diff_ok += d.ok();
+    }
+    std::printf("\ndifferential: %u/%zu applications OK\n", diff_ok,
+                diffs.size());
+
+    // Fault-injection sweep: record once per mode, then fan every
+    // mutant across the campaign pool.
+    BenchCampaign campaign("validate_sweep");
+    MachineConfig machine;
+    machine.numProcs = base.numProcs;
+    Workload workload(base.app, base.numProcs, base.workloadSeed,
+                      WorkloadScale{base.scalePercent});
+
+    std::vector<std::function<MutantResult()>> tasks;
+    for (const ModeConfig &mode :
+         {ModeConfig::orderAndSize(), ModeConfig::orderOnly(),
+          ModeConfig::picoLog()}) {
+        const Recording rec = Recorder(mode, machine)
+                                  .record(workload, base.recordEnvSeed);
+        campaign.account(rec.stats);
+        std::ostringstream buf;
+        saveRecording(rec, buf);
+        const auto serialized =
+            std::make_shared<const std::string>(buf.str());
+        for (unsigned k = 0; k < kMutationKinds; ++k) {
+            for (unsigned i = 0; i < kMutantsPerKind; ++i) {
+                const std::uint64_t seed =
+                    base.workloadSeed * 1'000'003ull + k * 7919ull + i;
+                tasks.push_back([serialized, k, seed] {
+                    return runMutant(*serialized,
+                                     static_cast<MutationKind>(k),
+                                     seed);
+                });
+            }
+        }
+    }
+    const std::vector<MutantResult> mutants =
+        campaign.map(std::move(tasks));
+
+    FaultSweepSummary sweep;
+    for (const MutantResult &m : mutants)
+        sweep.add(m);
+    std::printf("%s\n", sweep.describe().c_str());
+    ok = ok && sweep.ok();
+
+    writeReport(diffs, sweep, ok);
+    std::printf("\nvalidate_sweep: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

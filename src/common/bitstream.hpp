@@ -19,7 +19,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "common/errors.hpp"
 
 namespace delorean
 {
@@ -125,12 +128,45 @@ class BitReader
     {
     }
 
-    /** Read the next @p width bits; asserts on overrun. */
+    /**
+     * Read the next @p width bits. Throws BitstreamExhausted on
+     * overrun — readers frequently walk attacker-controllable (i.e.
+     * corrupted-file) streams, so running dry is an input error, not
+     * a programming error.
+     */
     std::uint64_t
     read(unsigned width)
     {
         assert(width <= 64);
-        assert(pos_ + width <= bits_);
+        if (pos_ + width > bits_)
+            throw BitstreamExhausted(
+                "read of " + std::to_string(width) + " bits at position "
+                + std::to_string(pos_) + " of " + std::to_string(bits_));
+        return readUnchecked(width);
+    }
+
+    /**
+     * Non-throwing variant: false (and @p out untouched) on overrun.
+     */
+    bool
+    tryRead(unsigned width, std::uint64_t &out)
+    {
+        assert(width <= 64);
+        if (pos_ + width > bits_)
+            return false;
+        out = readUnchecked(width);
+        return true;
+    }
+
+    /** Bits remaining to be read. */
+    std::uint64_t remaining() const { return bits_ - pos_; }
+
+    bool atEnd() const { return pos_ == bits_; }
+
+  private:
+    std::uint64_t
+    readUnchecked(unsigned width)
+    {
         std::uint64_t value = 0;
         for (unsigned i = 0; i < width; ++i) {
             const unsigned byte = pos_ / 8;
@@ -142,12 +178,6 @@ class BitReader
         return value;
     }
 
-    /** Bits remaining to be read. */
-    std::uint64_t remaining() const { return bits_ - pos_; }
-
-    bool atEnd() const { return pos_ == bits_; }
-
-  private:
     const std::vector<std::uint8_t> *bytes_;
     std::uint64_t bits_;
     std::uint64_t pos_ = 0;

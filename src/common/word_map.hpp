@@ -87,6 +87,18 @@ class WordMap
 
     bool contains(Addr key) const { return find(key) != nullptr; }
 
+    /**
+     * TEST ONLY: jump the epoch counter to @p epoch so wraparound
+     * behavior can be exercised without 2^32 clear() calls. Entries
+     * inserted under other epochs immediately read as absent.
+     */
+    void
+    forceEpochForTest(std::uint32_t epoch)
+    {
+        epoch_ = epoch;
+        size_ = 0;
+    }
+
   private:
     struct Slot
     {

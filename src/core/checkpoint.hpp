@@ -60,6 +60,25 @@ struct SystemCheckpoint
     }
 };
 
+/**
+ * Evenly spaced checkpoint GCCs for an execution expected to commit
+ * about @p expected_commits chunks: every @p period commits, starting
+ * at @p period (GCC 0 is the initial state and needs no checkpoint).
+ * Feed the result to EngineOptions::checkpointGccs so interval replay
+ * and the divergence localizer have boundaries to anchor on.
+ */
+inline std::vector<std::uint64_t>
+periodicCheckpointGccs(std::uint64_t expected_commits,
+                       std::uint64_t period)
+{
+    std::vector<std::uint64_t> gccs;
+    if (period == 0)
+        return gccs;
+    for (std::uint64_t g = period; g <= expected_commits; g += period)
+        gccs.push_back(g);
+    return gccs;
+}
+
 } // namespace delorean
 
 #endif // DELOREAN_CORE_CHECKPOINT_HPP_

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "common/errors.hpp"
 #include "trace/layout.hpp"
 
 namespace delorean
@@ -182,8 +183,16 @@ ChunkEngine::replay(const Recording &prior)
         dma_replay_idx_ = ckpt->dmaConsumed;
         rr_next_ = ckpt->rrNext;
         if (pi_cursor_)
-            for (std::uint64_t i = 0; i < ckpt->gcc; ++i)
+            for (std::uint64_t i = 0; i < ckpt->gcc; ++i) {
+                if (pi_cursor_->atEnd())
+                    throw ReplayLogExhausted(
+                        "checkpoint GCC "
+                        + std::to_string(ckpt->gcc)
+                        + " lies beyond the PI log ("
+                        + std::to_string(prior.pi.entryCount())
+                        + " entries)");
                 pi_cursor_->next();
+            }
         for (ProcId p = 0; p < n_; ++p) {
             procs_[p].ctx = ckpt->contexts[p];
             procs_[p].lastCommittedCtx = ckpt->contexts[p];
@@ -264,6 +273,8 @@ ChunkEngine::schedule(Cycle time, EvKind kind, ProcId proc,
 void
 ChunkEngine::runLoop()
 {
+    const std::uint64_t budget =
+        opts_.maxEvents ? opts_.maxEvents : kMaxEvents;
     std::uint64_t handled = 0;
     while (!events_.empty()) {
         const Event ev = events_.top();
@@ -283,13 +294,22 @@ ChunkEngine::runLoop()
         }
         last_time_ = std::max(last_time_, ev.time);
         handleEvent(ev);
-        if (++handled > kMaxEvents)
+        if (++handled > budget) {
+            if (opts_.replay)
+                throw ReplayBudgetExceeded(
+                    "no forward progress after "
+                    + std::to_string(budget) + " events");
             throw std::runtime_error("ChunkEngine: event budget exceeded "
                                      "(possible deadlock/divergence)");
+        }
     }
-    if (!allFinished())
+    if (!allFinished()) {
+        if (opts_.replay)
+            throw ReplayStalled("event queue drained with threads "
+                                "still unfinished");
         throw std::runtime_error("ChunkEngine: simulation stalled before "
                                  "all threads finished (replay divergence?)");
+    }
 }
 
 void
@@ -577,10 +597,17 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
           }
           case Op::kIoLoad:
             cost += timing_.memCost(in.op, HitLevel::kMemory);
-            if (!opts_.replay)
+            if (!opts_.replay) {
                 value = io_dev_.read(in.addr);
-            else
+            } else {
+                if (ps.ctx.ioLoadCount >= prior_->io.countFor(p))
+                    throw ReplayLogExhausted(
+                        "I/O log for proc " + std::to_string(p)
+                        + " has only "
+                        + std::to_string(prior_->io.countFor(p))
+                        + " values");
                 value = prior_->io.valueAt(p, ps.ctx.ioLoadCount);
+            }
             c.ioValues.push_back(value);
             ++ps.ctx.ioLoadCount;
             break;
@@ -1127,9 +1154,19 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     if (opts_.replay) {
         if (!c.extra.continuation && mode_.mode != ExecMode::kPicoLog
             && !strata_cursor_) {
+            // The grant was issued against peek() == p and nothing
+            // else consumes the cursor in between, but a corrupted
+            // log must fail loudly rather than silently desynchronize.
+            if (pi_cursor_->atEnd())
+                throw ReplayLogExhausted(
+                    "PI log ended before all chunks committed");
             const ProcId logged = pi_cursor_->next();
-            (void)logged;
-            assert(logged == p);
+            if (logged != p)
+                throw ReplayError(
+                    "PI log order violated at entry "
+                    + std::to_string(pi_cursor_->position() - 1)
+                    + ": log says proc " + std::to_string(logged)
+                    + ", committing proc " + std::to_string(p));
         }
         if (final_piece) {
             if (strata_cursor_)

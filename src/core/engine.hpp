@@ -74,6 +74,10 @@ struct EngineOptions
     Cycle replayArbitrationLatency = 50;
     bool replayDisableParallelCommit = true;
     ReplayPerturbation perturb;
+    /// Event-budget override; 0 keeps the default safety valve. The
+    /// validation layer shrinks this so a corrupted log that parks
+    /// the replay in a livelock fails in milliseconds, not hours.
+    std::uint64_t maxEvents = 0;
     /// Record only: take a SystemCheckpoint when the global commit
     /// count reaches each of these values (ascending).
     std::vector<std::uint64_t> checkpointGccs;

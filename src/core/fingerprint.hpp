@@ -95,13 +95,87 @@ struct ExecutionFingerprint
         return h;
     }
 
-  private:
+    /** True if final state (memory, accs, retired counts) matches. */
     bool
     statesMatch(const ExecutionFingerprint &other) const
     {
         return finalMemHash == other.finalMemHash
                && perProcAcc == other.perProcAcc
                && perProcRetired == other.perProcRetired;
+    }
+};
+
+/** Position-independent hash of one commit record. */
+inline std::uint64_t
+commitHash(const CommitRecord &c)
+{
+    std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(c.proc) + 0x9E3779B97F4A7C15ull);
+    h = mix64(h ^ c.seq);
+    h = mix64(h ^ c.size);
+    h = mix64(h ^ c.accAfter);
+    return h;
+}
+
+/**
+ * Periodic prefix hashes over a commit stream.
+ *
+ * prefixes[k] is the rolling hash of the first min(k * period, n)
+ * commits, chained as h' = mix64(h ^ commitHash(c)). Because each
+ * prefix hash is a function of exactly the commits before it, prefix
+ * equality between two streams is monotone in k: once two streams
+ * disagree at boundary k they disagree at every later boundary. That
+ * monotonicity is what lets the divergence localizer binary-search
+ * over interval boundaries instead of scanning the whole stream —
+ * the software analogue of comparing periodic hardware checkpoints.
+ */
+struct IntervalFingerprints
+{
+    std::uint64_t period = 0;
+    std::uint64_t totalCommits = 0;
+    /// Boundary hashes: index k covers the first min(k*period, total)
+    /// commits. Always has ceil(total/period) + 1 entries (a trailing
+    /// partial interval gets its own boundary).
+    std::vector<std::uint64_t> prefixes;
+
+    static IntervalFingerprints
+    build(const ExecutionFingerprint &fp, std::uint64_t period)
+    {
+        IntervalFingerprints out;
+        out.period = period ? period : 1;
+        out.totalCommits = fp.commits.size();
+        std::uint64_t h = 0x4465744C6F636Bull; // rolling-hash seed
+        out.prefixes.push_back(h);
+        for (std::uint64_t i = 0; i < out.totalCommits; ++i) {
+            h = mix64(h ^ commitHash(fp.commits[i]));
+            if ((i + 1) % out.period == 0
+                || i + 1 == out.totalCommits)
+                out.prefixes.push_back(h);
+        }
+        return out;
+    }
+
+    /** Commits covered by boundary @p k (clamped to the total). */
+    std::uint64_t
+    coveredAt(std::uint64_t k) const
+    {
+        const std::uint64_t want = k * period;
+        return want < totalCommits ? want : totalCommits;
+    }
+
+    /** Boundary hash @p k (clamped: past-the-end = final hash). */
+    std::uint64_t
+    prefixAt(std::uint64_t k) const
+    {
+        const std::size_t i = static_cast<std::size_t>(k);
+        return i < prefixes.size() ? prefixes[i] : prefixes.back();
+    }
+
+    /** Number of boundaries (valid arguments to prefixAt). */
+    std::uint64_t
+    boundaryCount() const
+    {
+        return prefixes.size();
     }
 };
 

@@ -39,6 +39,13 @@ class InterruptLog
   public:
     explicit InterruptLog(unsigned num_procs) : per_proc_(num_procs) {}
 
+    /** Processor count the log was sized for. */
+    unsigned
+    numProcs() const
+    {
+        return static_cast<unsigned>(per_proc_.size());
+    }
+
     void
     append(ProcId proc, const InterruptRecord &rec)
     {
@@ -97,6 +104,13 @@ class IoLog
 {
   public:
     explicit IoLog(unsigned num_procs) : per_proc_(num_procs) {}
+
+    /** Processor count the log was sized for. */
+    unsigned
+    numProcs() const
+    {
+        return static_cast<unsigned>(per_proc_.size());
+    }
 
     /** Record that I/O load number @p index returned @p value. */
     void

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "common/errors.hpp"
+#include "trace/app_profile.hpp"
+
 namespace delorean
 {
 
@@ -33,7 +36,7 @@ getU64(std::istream &in)
     std::uint8_t bytes[8];
     in.read(reinterpret_cast<char *>(bytes), 8);
     if (!in)
-        throw std::runtime_error("recording file truncated");
+        throw RecordingFormatError("file truncated");
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
@@ -52,11 +55,11 @@ getString(std::istream &in)
 {
     const std::uint64_t n = getU64(in);
     if (n > (1u << 20))
-        throw std::runtime_error("recording string too long");
+        throw RecordingFormatError("string too long");
     std::string s(n, '\0');
     in.read(s.data(), static_cast<std::streamsize>(n));
     if (!in)
-        throw std::runtime_error("recording file truncated");
+        throw RecordingFormatError("file truncated");
     return s;
 }
 
@@ -78,7 +81,7 @@ getContext(std::istream &in)
     char buf[sizeof(ThreadContext)];
     in.read(buf, sizeof(ThreadContext));
     if (!in)
-        throw std::runtime_error("recording file truncated");
+        throw RecordingFormatError("file truncated");
     ThreadContext ctx;
     std::memcpy(&ctx, buf, sizeof(ThreadContext));
     return ctx;
@@ -148,7 +151,146 @@ getMachine(std::istream &in)
     return m;
 }
 
+/** Throw RecordingFormatError unless cond; @p what names the field. */
+void
+require(bool cond, const std::string &what)
+{
+    if (!cond)
+        throw RecordingFormatError(what);
+}
+
+/**
+ * Field-range checks for the machine/mode headers. Run before the
+ * loader allocates anything sized by these fields, so a corrupted
+ * header cannot drive a huge allocation, a division by zero in the
+ * cache geometry, or an out-of-range shift in the directory's 64-bit
+ * sharer masks.
+ */
+void
+validateConfigs(const MachineConfig &m, const ModeConfig &mode)
+{
+    require(m.numProcs >= 1 && m.numProcs <= 64,
+            "numProcs " + std::to_string(m.numProcs)
+                + " outside [1, 64]");
+    require(m.mem.l1Ways >= 1 && m.mem.l2Ways >= 1,
+            "cache associativity must be at least 1");
+    require(m.mem.l1SizeBytes / kLineBytes / m.mem.l1Ways >= 1,
+            "L1 smaller than one set");
+    require(m.mem.l2SizeBytes / kLineBytes / m.mem.l2Ways >= 1,
+            "L2 smaller than one set");
+    require(m.bulk.maxConcurrentCommits >= 1
+                && m.bulk.maxConcurrentCommits <= 1024,
+            "maxConcurrentCommits outside [1, 1024]");
+    require(m.bulk.simultaneousChunks >= 1
+                && m.bulk.simultaneousChunks <= 1024,
+            "simultaneousChunks outside [1, 1024]");
+    require(m.bulk.collisionBackoffThreshold >= 1,
+            "collisionBackoffThreshold must be at least 1");
+
+    require(mode.mode == ExecMode::kOrderAndSize
+                || mode.mode == ExecMode::kOrderOnly
+                || mode.mode == ExecMode::kPicoLog,
+            "unknown execution mode");
+    require(mode.chunkSize >= 1 && mode.chunkSize <= (1u << 30),
+            "chunkSize outside [1, 2^30]");
+    require(mode.varSizeTruncatePercent <= 100,
+            "varSizeTruncatePercent above 100");
+    require(mode.csDistanceBits >= 1 && mode.csDistanceBits <= 64,
+            "csDistanceBits outside [1, 64]");
+    require(mode.csSizeBits >= 1 && mode.csSizeBits <= 64,
+            "csSizeBits outside [1, 64]");
+    require(mode.piProcIdBits >= 1 && mode.piProcIdBits <= 32,
+            "piProcIdBits outside [1, 32]");
+    require(mode.stratifyChunksPerProc <= 255,
+            "stratifyChunksPerProc above 255");
+}
+
 } // namespace
+
+void
+validateRecording(const Recording &rec)
+{
+    validateConfigs(rec.machine, rec.mode);
+    const unsigned n = rec.machine.numProcs;
+
+    bool known_app = true;
+    try {
+        AppTable::byName(rec.appName);
+    } catch (const std::out_of_range &) {
+        known_app = false;
+    }
+    require(known_app, "unknown application '" + rec.appName + "'");
+    require(rec.iterationsPercent >= 1,
+            "iterationsPercent must be at least 1");
+
+    for (std::size_t i = 0; i < rec.pi.entryCount(); ++i) {
+        const ProcId p = rec.pi.entryAt(i);
+        require(p < n || p == kDmaProcId,
+                "PI entry " + std::to_string(i) + " names proc "
+                    + std::to_string(p));
+    }
+
+    for (std::size_t i = 0; i < rec.strata.size(); ++i) {
+        const Stratum &s = rec.strata[i];
+        if (s.isDma)
+            continue;
+        require(s.counts.size() == n,
+                "stratum " + std::to_string(i) + " has "
+                    + std::to_string(s.counts.size())
+                    + " counters for " + std::to_string(n)
+                    + " processors");
+        if (rec.stratified()) {
+            for (const auto c : s.counts)
+                require(c <= rec.mode.stratifyChunksPerProc,
+                        "stratum " + std::to_string(i)
+                            + " counter exceeds the per-processor "
+                              "maximum");
+        }
+    }
+
+    require(rec.cs.size() == n, "CS log count does not match numProcs");
+    for (ProcId p = 0; p < n; ++p) {
+        for (const CsEntry &e : rec.cs[p].entries())
+            require(e.size <= rec.mode.chunkSize,
+                    "CS entry for proc " + std::to_string(p)
+                        + " chunk " + std::to_string(e.seq)
+                        + " exceeds chunkSize");
+    }
+
+    require(rec.interrupts.numProcs() == n,
+            "interrupt log count does not match numProcs");
+    require(rec.io.numProcs() == n,
+            "I/O log count does not match numProcs");
+
+    for (std::size_t i = 0; i < rec.dma.count(); ++i) {
+        const DmaTransfer &t = rec.dma.transferAt(i);
+        require(t.wordAddrs.size() == t.values.size(),
+                "DMA transfer " + std::to_string(i)
+                    + " addr/value lists differ in length");
+    }
+
+    for (std::size_t i = 0; i < rec.fingerprint.commits.size(); ++i)
+        require(rec.fingerprint.commits[i].proc < n,
+                "fingerprint commit " + std::to_string(i)
+                    + " names an out-of-range proc");
+    require(rec.fingerprint.perProcAcc.size() == n
+                && rec.fingerprint.perProcRetired.size() == n,
+            "fingerprint per-proc vectors do not match numProcs");
+
+    for (std::size_t i = 0; i < rec.checkpoints.size(); ++i) {
+        const SystemCheckpoint &c = rec.checkpoints[i];
+        require(c.contexts.size() == n
+                    && c.committedChunks.size() == n,
+                "checkpoint " + std::to_string(i)
+                    + " context count does not match numProcs");
+        require(c.rrNext < n,
+                "checkpoint " + std::to_string(i)
+                    + " rrNext out of range");
+        require(c.dmaConsumed <= rec.dma.count(),
+                "checkpoint " + std::to_string(i)
+                    + " dmaConsumed exceeds the DMA log");
+    }
+}
 
 void
 saveRecording(const Recording &rec, std::ostream &out)
@@ -270,21 +412,29 @@ Recording
 loadRecording(std::istream &in)
 {
     if (getU64(in) != kMagic)
-        throw std::runtime_error("not a DeLorean recording");
+        throw RecordingFormatError("not a DeLorean recording");
     if (getU64(in) != kVersion)
-        throw std::runtime_error("unsupported recording version");
+        throw RecordingFormatError("unsupported recording version");
 
     Recording rec;
     rec.machine = getMachine(in);
     rec.mode = getMode(in);
+    // Everything below is sized or indexed by the header fields, so
+    // they must be in range before any section is materialized.
+    validateConfigs(rec.machine, rec.mode);
     rec.appName = getString(in);
     rec.workloadSeed = getU64(in);
     rec.iterationsPercent = static_cast<unsigned>(getU64(in));
 
     rec.pi = PiLog(rec.machine.numProcs);
     const std::uint64_t pi_count = getU64(in);
-    for (std::uint64_t i = 0; i < pi_count; ++i)
-        rec.pi.append(static_cast<ProcId>(getU64(in)));
+    for (std::uint64_t i = 0; i < pi_count; ++i) {
+        const ProcId p = static_cast<ProcId>(getU64(in));
+        require(p < rec.machine.numProcs || p == kDmaProcId,
+                "PI entry " + std::to_string(i) + " names proc "
+                    + std::to_string(p));
+        rec.pi.append(p);
+    }
 
     const std::uint64_t strata_count = getU64(in);
     for (std::uint64_t i = 0; i < strata_count; ++i) {
@@ -297,6 +447,8 @@ loadRecording(std::istream &in)
     }
 
     const std::uint64_t cs_count = getU64(in);
+    require(cs_count == rec.machine.numProcs,
+            "CS log count does not match numProcs");
     rec.cs.assign(cs_count, CsLog(rec.mode));
     for (std::uint64_t p = 0; p < cs_count; ++p) {
         const std::uint64_t n = getU64(in);
@@ -312,6 +464,8 @@ loadRecording(std::istream &in)
     }
 
     const std::uint64_t irq_procs = getU64(in);
+    require(irq_procs == rec.machine.numProcs,
+            "interrupt log count does not match numProcs");
     rec.interrupts = InterruptLog(static_cast<unsigned>(irq_procs));
     for (ProcId p = 0; p < irq_procs; ++p) {
         const std::uint64_t n = getU64(in);
@@ -387,6 +541,7 @@ loadRecording(std::istream &in)
         }
         rec.checkpoints.push_back(std::move(ckpt));
     }
+    validateRecording(rec);
     return rec;
 }
 

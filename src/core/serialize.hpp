@@ -29,11 +29,27 @@ void saveRecording(const Recording &rec, std::ostream &out);
 /** Serialize @p rec to file @p path. */
 void saveRecordingFile(const Recording &rec, const std::string &path);
 
-/** Deserialize a Recording. Throws std::runtime_error on bad input. */
+/**
+ * Deserialize a Recording. Throws RecordingFormatError on any
+ * malformed input: truncated stream, bad magic/version, or fields
+ * outside the range the recorder can produce. A recording returned
+ * from here has passed validateRecording(), so handing it to the
+ * replay engine cannot trigger UB (it may still diverge, which the
+ * engine reports with typed ReplayError exceptions).
+ */
 Recording loadRecording(std::istream &in);
 
 /** Deserialize a Recording from file @p path. */
 Recording loadRecordingFile(const std::string &path);
+
+/**
+ * Check the semantic invariants a recorder-produced Recording always
+ * satisfies (field ranges, cross-section size agreements, log entry
+ * bounds). Throws RecordingFormatError naming the first violation.
+ * loadRecording() runs this automatically; it is exposed for
+ * recordings arriving by other paths (e.g. the fault injector).
+ */
+void validateRecording(const Recording &rec);
 
 } // namespace delorean
 

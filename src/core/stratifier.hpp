@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitstream.hpp"
+#include "common/errors.hpp"
 #include "common/flat_set.hpp"
 #include "common/types.hpp"
 #include "signature/signature.hpp"
@@ -131,6 +132,12 @@ class StrataCursor
     void
     consume(ProcId proc)
     {
+        if (proc >= remaining_.size() || remaining_[proc] == 0)
+            throw ReplayError(
+                "stratified replay committed proc "
+                + std::to_string(proc)
+                + " beyond its budget in stratum "
+                + std::to_string(pos_ ? pos_ - 1 : 0));
         --remaining_[proc];
         advanceIfDrained();
     }
@@ -162,6 +169,13 @@ class StrataCursor
                 current_dma_ = true;
                 return;
             }
+            if (s.counts.size() != remaining_.size())
+                throw RecordingFormatError(
+                    "stratum " + std::to_string(pos_ - 1) + " has "
+                    + std::to_string(s.counts.size())
+                    + " counters for "
+                    + std::to_string(remaining_.size())
+                    + " processors");
             bool any = false;
             for (std::size_t p = 0; p < remaining_.size(); ++p) {
                 remaining_[p] = s.counts[p];

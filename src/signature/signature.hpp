@@ -195,6 +195,22 @@ class SignatureT
         return count;
     }
 
+    /**
+     * TEST ONLY: jump the epoch counter to @p epoch so the wraparound
+     * hard reset in clear() can be exercised without 2^32 clears.
+     * Summaries are rebuilt from the words live under @p epoch so the
+     * summary/word invariant holds for any forced value.
+     */
+    void
+    forceEpochForTest(std::uint32_t epoch)
+    {
+        epoch_ = epoch;
+        summary_.fill(0);
+        for (unsigned b = 0; b < kBanks; ++b)
+            for (unsigned i = 0; i < kBankWords; ++i)
+                summary_[b] |= word(b * kBankWords + i);
+    }
+
     /** Logical equality (epoch representation is ignored). */
     bool
     operator==(const SignatureT &other) const

@@ -1,0 +1,241 @@
+#include "validate/differential.hpp"
+
+#include <exception>
+#include <functional>
+#include <sstream>
+
+#include "core/recorder.hpp"
+#include "core/serialize.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/workload.hpp"
+#include "validate/replay_check.hpp"
+
+namespace delorean
+{
+
+namespace
+{
+
+/** The four (mode, PI-flavor) configurations of one job. */
+std::vector<std::pair<std::string, ModeConfig>>
+runConfigs(const DifferentialJob &job)
+{
+    ModeConfig strat = ModeConfig::orderOnly();
+    strat.stratifyChunksPerProc = job.stratifyChunksPerProc;
+    return {
+        {"order-and-size", ModeConfig::orderAndSize()},
+        {"order-only", ModeConfig::orderOnly()},
+        {"order-only-strat", strat},
+        {"picolog", ModeConfig::picoLog()},
+    };
+}
+
+/**
+ * Periodic interval fingerprints of recorded vs replayed streams
+ * agree at every boundary. Stratified logs are compared one
+ * processor stream at a time (their global interleaving may legally
+ * differ between record and replay).
+ */
+bool
+intervalFingerprintsAgree(const ExecutionFingerprint &recorded,
+                          const ExecutionFingerprint &replayed,
+                          bool stratified, std::uint64_t period)
+{
+    const auto streamsAgree = [period](const ExecutionFingerprint &a,
+                                       const ExecutionFingerprint &b) {
+        return IntervalFingerprints::build(a, period).prefixes
+               == IntervalFingerprints::build(b, period).prefixes;
+    };
+    if (!stratified)
+        return streamsAgree(recorded, replayed);
+    const std::size_t n = std::max(recorded.perProcAcc.size(),
+                                   replayed.perProcAcc.size());
+    for (std::size_t p = 0; p < n; ++p) {
+        ExecutionFingerprint a, b;
+        a.commits = recorded.procStream(static_cast<ProcId>(p));
+        b.commits = replayed.procStream(static_cast<ProcId>(p));
+        if (!streamsAgree(a, b))
+            return false;
+    }
+    return true;
+}
+
+/** Record + round-trip + checked replay of one configuration. */
+DifferentialRun
+runOne(const DifferentialJob &job, const std::string &label,
+       const ModeConfig &mode)
+{
+    DifferentialRun run;
+    run.label = label;
+    run.mode = mode;
+    run.stratified = mode.stratifyChunksPerProc != 0;
+
+    MachineConfig machine;
+    machine.numProcs = job.numProcs;
+
+    Recording loaded;
+    try {
+        Workload workload(job.app, job.numProcs, job.workloadSeed,
+                          WorkloadScale{job.scalePercent});
+        const Recording rec = Recorder(mode, machine)
+                                  .record(workload, job.recordEnvSeed);
+
+        // Serialize, reload, re-serialize: the replay below runs on
+        // the *loaded* copy so the wire format itself is under test.
+        std::ostringstream first;
+        saveRecording(rec, first);
+        std::istringstream in(first.str());
+        loaded = loadRecording(in);
+        std::ostringstream second;
+        saveRecording(loaded, second);
+        run.roundTripIdentical = first.str() == second.str();
+        run.recorded = true;
+    } catch (const std::exception &e) {
+        run.error = e.what();
+        return run;
+    }
+
+    run.sizes = loaded.logSizes();
+    run.fingerprint = loaded.fingerprint;
+
+    ReplayCheckOptions opts;
+    opts.envSeed = job.replayEnvSeed;
+    opts.localizerPeriod = job.localizerPeriod;
+    if (job.perturbReplay) {
+        opts.perturb.enabled = true;
+        opts.perturb.seed = job.replayEnvSeed * 0x9E3779B97F4A7C15ull
+                            + job.workloadSeed;
+    }
+    const ReplayCheckResult check = checkedReplay(loaded, opts);
+    run.replayOk = check.ok;
+    run.report = check.report;
+    if (check.replayRan)
+        run.intervalsMatch = intervalFingerprintsAgree(
+            loaded.fingerprint, check.outcome.fingerprint,
+            run.stratified, job.localizerPeriod);
+    return run;
+}
+
+} // namespace
+
+const DifferentialRun *
+DifferentialResult::findRun(const std::string &label) const
+{
+    for (const DifferentialRun &r : runs)
+        if (r.label == label)
+            return &r;
+    return nullptr;
+}
+
+std::string
+DifferentialResult::describe() const
+{
+    std::ostringstream out;
+    out << "differential " << job.app << " p=" << job.numProcs
+        << " scale=" << job.scalePercent << "%: "
+        << (ok() ? "OK" : "FAIL");
+    for (const DifferentialRun &r : runs) {
+        out << "\n  " << r.label << ": ";
+        if (!r.recorded) {
+            out << "record failed: " << r.error;
+            continue;
+        }
+        out << "pi=" << r.sizes.pi.rawBits << "b cs="
+            << r.sizes.cs.rawBits << "b commits="
+            << r.fingerprint.commits.size() << " replay="
+            << (r.replayOk ? "ok" : "DIVERGED")
+            << (r.roundTripIdentical ? "" : " round-trip=NOT-IDENTICAL");
+        if (!r.replayOk)
+            out << "\n    " << r.report.describe();
+    }
+    for (const std::string &f : failures)
+        out << "\n  cross-check: " << f;
+    return out.str();
+}
+
+DifferentialResult
+DifferentialChecker::check(const DifferentialJob &job) const
+{
+    DifferentialResult result;
+    result.job = job;
+
+    const auto configs = runConfigs(job);
+    std::vector<std::function<DifferentialRun()>> tasks;
+    tasks.reserve(configs.size());
+    for (const auto &[label, mode] : configs) {
+        tasks.push_back([&job, label = label, mode = mode] {
+            return runOne(job, label, mode);
+        });
+    }
+    result.runs = runner_.map(std::move(tasks));
+
+    auto fail = [&result](std::string msg) {
+        result.failures.push_back(std::move(msg));
+    };
+
+    // Per-run requirements first: each recording must survive the
+    // wire format and replay deterministically under perturbation.
+    for (const DifferentialRun &r : result.runs) {
+        if (!r.recorded) {
+            fail(r.label + ": record/serialize failed: " + r.error);
+            continue;
+        }
+        if (!r.roundTripIdentical)
+            fail(r.label + ": save/load/save not byte-identical");
+        if (!r.replayOk)
+            fail(r.label + ": replay diverged ("
+                 + divergenceKindName(r.report.kind) + ": "
+                 + r.report.message + ")");
+        else if (!r.intervalsMatch)
+            fail(r.label + ": interval fingerprints disagree with a "
+                 "matching final fingerprint (localizer invariant "
+                 "broken)");
+    }
+    if (!result.failures.empty())
+        return result;
+
+    const DifferentialRun &oands = *result.findRun("order-and-size");
+    const DifferentialRun &oo = *result.findRun("order-only");
+    const DifferentialRun &strat = *result.findRun("order-only-strat");
+    const DifferentialRun &pico = *result.findRun("picolog");
+
+    // Stratification is a PI-log re-encoding, not a different
+    // execution: flat and stratified OrderOnly must match exactly.
+    if (!strat.fingerprint.matchesExact(oo.fingerprint))
+        fail("order-only-strat fingerprint differs from order-only "
+             "(stratification changed the execution)");
+
+    // Paper log-size orderings (see header for why PI+CS, not PI).
+    if (pico.sizes.pi.rawBits != 0)
+        fail("picolog recorded " + std::to_string(pico.sizes.pi.rawBits)
+             + " PI bits; the predefined commit order needs none");
+    if (strat.sizes.pi.rawBits > oo.sizes.pi.rawBits)
+        fail("stratified PI log (" + std::to_string(strat.sizes.pi.rawBits)
+             + "b) larger than flat OrderOnly PI log ("
+             + std::to_string(oo.sizes.pi.rawBits) + "b)");
+    if (oo.totalLogBits() > oands.totalLogBits())
+        fail("OrderOnly combined log (" + std::to_string(oo.totalLogBits())
+             + "b) larger than Order&Size's ("
+             + std::to_string(oands.totalLogBits()) + "b)");
+    if (pico.totalLogBits() > oo.totalLogBits())
+        fail("PicoLog combined log (" + std::to_string(pico.totalLogBits())
+             + "b) larger than OrderOnly's ("
+             + std::to_string(oo.totalLogBits()) + "b)");
+    return result;
+}
+
+std::vector<DifferentialResult>
+DifferentialChecker::checkAllApps(const DifferentialJob &base) const
+{
+    // Apps run sequentially; each check() already fans its four runs
+    // across the worker pool.
+    std::vector<DifferentialResult> results;
+    for (const std::string &app : AppTable::splash2Names()) {
+        DifferentialJob job = base;
+        job.app = app;
+        results.push_back(check(job));
+    }
+    return results;
+}
+
+} // namespace delorean

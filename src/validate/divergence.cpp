@@ -1,0 +1,79 @@
+#include "validate/divergence.hpp"
+
+#include <sstream>
+
+namespace delorean
+{
+
+const char *
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::kNone:
+        return "none";
+      case DivergenceKind::kFormatError:
+        return "format-error";
+      case DivergenceKind::kWorkloadError:
+        return "workload-error";
+      case DivergenceKind::kReplayError:
+        return "replay-error";
+      case DivergenceKind::kCommitDivergence:
+        return "commit-divergence";
+      case DivergenceKind::kMissingCommits:
+        return "missing-commits";
+      case DivergenceKind::kExtraCommits:
+        return "extra-commits";
+      case DivergenceKind::kStateDivergence:
+        return "state-divergence";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+describeCommit(std::ostringstream &out, const CommitRecord &c)
+{
+    out << "proc " << c.proc << " chunk " << c.seq << " size "
+        << c.size << " acc 0x" << std::hex << c.accAfter << std::dec;
+}
+
+} // namespace
+
+std::string
+DivergenceReport::describe() const
+{
+    std::ostringstream out;
+    out << "divergence: " << divergenceKindName(kind);
+    if (ok()) {
+        out << " (replay deterministic)";
+        return out.str();
+    }
+    if (!message.empty())
+        out << "\n  " << message;
+    if (haveCommits) {
+        out << "\n  first divergent chunk: global commit #"
+            << commitIndex << ", proc " << proc << ", local chunk "
+            << seq;
+        if (kind != DivergenceKind::kExtraCommits) {
+            out << "\n  recorded: ";
+            describeCommit(out, expected);
+        }
+        if (kind != DivergenceKind::kMissingCommits) {
+            out << "\n  replayed: ";
+            describeCommit(out, actual);
+        }
+    }
+    if (!logName.empty()) {
+        out << "\n  log record: " << logName;
+        if (logIndex >= 0)
+            out << "[" << logIndex << "]";
+    }
+    if (probes)
+        out << "\n  localized with " << probes
+            << " interval-fingerprint probes";
+    return out.str();
+}
+
+} // namespace delorean

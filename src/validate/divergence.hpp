@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DivergenceReport: the structured answer to "did replay reproduce
+ * the recording, and if not, where did it first go wrong?"
+ *
+ * Every path through the validation subsystem — cross-mode
+ * differential checks, fault-injection sweeps, plain checked replays —
+ * terminates in one of these. A report either says kNone (replay
+ * deterministic) or names the failure class, the first divergent
+ * chunk (processor, local chunk number, global commit index) and the
+ * log record that produced it, so a divergence is actionable rather
+ * than a bare boolean.
+ */
+
+#ifndef DELOREAN_VALIDATE_DIVERGENCE_HPP_
+#define DELOREAN_VALIDATE_DIVERGENCE_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/fingerprint.hpp"
+
+namespace delorean
+{
+
+/** Failure classes a validation run can end in. */
+enum class DivergenceKind : std::uint8_t
+{
+    kNone,             ///< replay reproduced the recording
+    kFormatError,      ///< recording rejected before replay started
+    kWorkloadError,    ///< workload could not be reconstructed
+    kReplayError,      ///< replay raised a typed error (log ran dry,
+                       ///< order violated, stall, budget)
+    kCommitDivergence, ///< a commit differs from the recorded one
+    kMissingCommits,   ///< replay committed a prefix, then stopped
+    kExtraCommits,     ///< replay committed past the recorded stream
+    kStateDivergence,  ///< same commits, different final state
+};
+
+/** Short printable name of a divergence kind. */
+const char *divergenceKindName(DivergenceKind kind);
+
+/** Structured outcome of a checked replay. */
+struct DivergenceReport
+{
+    DivergenceKind kind = DivergenceKind::kNone;
+
+    /// Human-readable explanation (exception text for error kinds).
+    std::string message;
+
+    // --- first divergent chunk (commit-divergence kinds) ----------------
+    /// Index into the recorded global commit stream.
+    std::uint64_t commitIndex = 0;
+    /// Processor of the divergent chunk (kDmaProcId when unknown).
+    ProcId proc = kDmaProcId;
+    /// Its processor-local logical chunk number.
+    ChunkSeq seq = 0;
+    CommitRecord expected{}; ///< what the recording says
+    CommitRecord actual{};   ///< what replay produced
+    /// True when expected/actual (and commitIndex/proc/seq) are set.
+    bool haveCommits = false;
+
+    // --- log attribution --------------------------------------------------
+    /// Which log drove the divergent commit: "pi", "strata",
+    /// "cs[<proc>]" or "(predefined order)" for PicoLog.
+    std::string logName;
+    /// Index of the record in that log; -1 when not applicable.
+    std::int64_t logIndex = -1;
+
+    /// Interval-boundary comparisons the localizer's binary search
+    /// used (observability: O(log n), not O(n)).
+    std::uint64_t probes = 0;
+
+    bool ok() const { return kind == DivergenceKind::kNone; }
+
+    /** Multi-line human-readable rendering. */
+    std::string describe() const;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_VALIDATE_DIVERGENCE_HPP_

@@ -1,0 +1,231 @@
+#include "validate/fault_injector.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "core/serialize.hpp"
+
+namespace delorean
+{
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::kBitFlip:
+        return "bit-flip";
+      case MutationKind::kTruncate:
+        return "truncate";
+      case MutationKind::kDuplicateWord:
+        return "duplicate-word";
+      case MutationKind::kReorderWords:
+        return "reorder-words";
+      case MutationKind::kHeaderCorrupt:
+        return "header-corrupt";
+    }
+    return "unknown";
+}
+
+const char *
+mutantOutcomeName(MutantOutcome outcome)
+{
+    switch (outcome) {
+      case MutantOutcome::kRejectedAtLoad:
+        return "rejected-at-load";
+      case MutantOutcome::kReplayedIdentically:
+        return "replayed-identically";
+      case MutantOutcome::kDivergenceDetected:
+        return "divergence-detected";
+      case MutantOutcome::kReplayErrorReported:
+        return "replay-error-reported";
+      case MutantOutcome::kUnexpected:
+        return "UNEXPECTED";
+    }
+    return "unknown";
+}
+
+std::string
+mutateSerialized(const std::string &bytes, MutationKind kind,
+                 std::uint64_t seed)
+{
+    Xoshiro256ss rng(seed ^ 0xFA017EC7ull);
+    std::string out = bytes;
+    if (out.empty())
+        return out;
+    const std::uint64_t size = out.size();
+    const std::uint64_t words = size / 8;
+
+    switch (kind) {
+      case MutationKind::kBitFlip: {
+        const unsigned flips = 1 + static_cast<unsigned>(rng.below(8));
+        for (unsigned i = 0; i < flips; ++i) {
+            const std::uint64_t bit = rng.below(size * 8);
+            out[bit / 8] = static_cast<char>(
+                static_cast<unsigned char>(out[bit / 8])
+                ^ (1u << (bit % 8)));
+        }
+        break;
+      }
+      case MutationKind::kTruncate:
+        out.resize(rng.below(size));
+        break;
+      case MutationKind::kDuplicateWord: {
+        if (words == 0)
+            break;
+        const std::uint64_t w = rng.below(words);
+        out.insert(w * 8 + 8, bytes, w * 8, 8);
+        break;
+      }
+      case MutationKind::kReorderWords: {
+        if (words < 2)
+            break;
+        const std::uint64_t a = rng.below(words);
+        std::uint64_t b = rng.below(words);
+        if (a == b)
+            b = (b + 1) % words;
+        for (unsigned i = 0; i < 8; ++i)
+            std::swap(out[a * 8 + i], out[b * 8 + i]);
+        break;
+      }
+      case MutationKind::kHeaderCorrupt: {
+        // Magic, version, machine and mode occupy the first
+        // 20 u64 fields; scribble a random byte there.
+        const std::uint64_t header =
+            std::min<std::uint64_t>(size, 20 * 8);
+        out[rng.below(header)] =
+            static_cast<char>(rng.next() & 0xFF);
+        break;
+      }
+    }
+    return out;
+}
+
+void
+FaultSweepSummary::add(const MutantResult &r)
+{
+    ++total;
+    switch (r.outcome) {
+      case MutantOutcome::kRejectedAtLoad:
+        ++rejectedAtLoad;
+        break;
+      case MutantOutcome::kReplayedIdentically:
+        ++replayedIdentically;
+        break;
+      case MutantOutcome::kDivergenceDetected:
+        ++divergenceDetected;
+        break;
+      case MutantOutcome::kReplayErrorReported:
+        ++replayErrorReported;
+        break;
+      case MutantOutcome::kUnexpected:
+        ++unexpected;
+        unexpectedResults.push_back(r);
+        break;
+    }
+}
+
+std::string
+FaultSweepSummary::describe() const
+{
+    std::ostringstream out;
+    out << "fault sweep: " << total << " mutants | rejected "
+        << rejectedAtLoad << " | identical " << replayedIdentically
+        << " | divergence " << divergenceDetected << " | replay-error "
+        << replayErrorReported << " | UNEXPECTED " << unexpected;
+    for (const MutantResult &r : unexpectedResults)
+        out << "\n  " << mutationKindName(r.kind) << " seed " << r.seed
+            << ": " << r.report.message;
+    return out.str();
+}
+
+MutantResult
+runMutant(const std::string &serialized, MutationKind kind,
+          std::uint64_t seed, const ReplayCheckOptions &opts)
+{
+    MutantResult result;
+    result.kind = kind;
+    result.seed = seed;
+
+    const std::string mutated = mutateSerialized(serialized, kind, seed);
+
+    Recording mutant;
+    try {
+        std::istringstream in(mutated);
+        mutant = loadRecording(in);
+    } catch (const RecordingFormatError &e) {
+        result.outcome = MutantOutcome::kRejectedAtLoad;
+        result.report.kind = DivergenceKind::kFormatError;
+        result.report.message = e.what();
+        return result;
+    } catch (const std::exception &e) {
+        // The loader's contract is RecordingFormatError only; any
+        // other type is a hardening gap the sweep must surface.
+        result.outcome = MutantOutcome::kUnexpected;
+        result.report.kind = DivergenceKind::kFormatError;
+        result.report.message =
+            std::string("loader threw non-format error: ") + e.what();
+        return result;
+    }
+
+    ReplayCheckResult check;
+    try {
+        check = checkedReplay(mutant, opts);
+    } catch (const std::exception &e) {
+        result.outcome = MutantOutcome::kUnexpected;
+        result.report.kind = DivergenceKind::kReplayError;
+        result.report.message =
+            std::string("checkedReplay threw: ") + e.what();
+        return result;
+    }
+
+    result.report = check.report;
+    if (check.ok) {
+        result.outcome = MutantOutcome::kReplayedIdentically;
+        return result;
+    }
+    switch (check.report.kind) {
+      case DivergenceKind::kFormatError:
+      case DivergenceKind::kWorkloadError:
+        result.outcome = MutantOutcome::kRejectedAtLoad;
+        break;
+      case DivergenceKind::kReplayError:
+        result.outcome = MutantOutcome::kReplayErrorReported;
+        break;
+      case DivergenceKind::kCommitDivergence:
+      case DivergenceKind::kMissingCommits:
+      case DivergenceKind::kExtraCommits:
+      case DivergenceKind::kStateDivergence:
+        result.outcome = MutantOutcome::kDivergenceDetected;
+        break;
+      case DivergenceKind::kNone:
+        result.outcome = MutantOutcome::kUnexpected;
+        result.report.message =
+            "checkedReplay returned !ok with an empty report";
+        break;
+    }
+    return result;
+}
+
+FaultSweepSummary
+runFaultSweep(const Recording &rec, unsigned mutants_per_kind,
+              std::uint64_t seed0, const ReplayCheckOptions &opts)
+{
+    std::ostringstream buf;
+    saveRecording(rec, buf);
+    const std::string serialized = buf.str();
+
+    FaultSweepSummary summary;
+    for (unsigned k = 0; k < kMutationKinds; ++k) {
+        for (unsigned i = 0; i < mutants_per_kind; ++i) {
+            const std::uint64_t seed =
+                seed0 * 1'000'003ull + k * 7919ull + i;
+            summary.add(runMutant(
+                serialized, static_cast<MutationKind>(k), seed, opts));
+        }
+    }
+    return summary;
+}
+
+} // namespace delorean

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Log fault injector: mutate serialized recordings, assert grace.
+ *
+ * rr-style robustness testing for the replay pipeline. A recording is
+ * serialized, a deterministic mutation is applied to the byte stream
+ * (bit flips, truncation at an arbitrary offset, 8-byte record-word
+ * duplication or reordering, header corruption), and the mutant is
+ * pushed through loadRecording() + checkedReplay(). The acceptable
+ * outcomes are exactly:
+ *
+ *   - the loader rejects it with a RecordingFormatError,
+ *   - the replay reproduces the recording (mutation hit dead bytes,
+ *     e.g. a statistics field),
+ *   - checkedReplay returns a structured DivergenceReport (typed
+ *     replay error, or a localized divergence).
+ *
+ * Crashes, hangs (fenced by the replay event budget) and any other
+ * exception type are sweep failures, counted as kUnexpected.
+ */
+
+#ifndef DELOREAN_VALIDATE_FAULT_INJECTOR_HPP_
+#define DELOREAN_VALIDATE_FAULT_INJECTOR_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recording.hpp"
+#include "validate/replay_check.hpp"
+
+namespace delorean
+{
+
+/** Mutation classes applied to the serialized byte stream. */
+enum class MutationKind : std::uint8_t
+{
+    kBitFlip,       ///< flip 1-8 random bits anywhere
+    kTruncate,      ///< cut the stream at a random byte offset
+    kDuplicateWord, ///< duplicate a random aligned 8-byte record word
+    kReorderWords,  ///< swap two random aligned 8-byte record words
+    kHeaderCorrupt, ///< scribble on the magic/version/config header
+};
+
+constexpr unsigned kMutationKinds = 5;
+
+/** Short printable name of a mutation kind. */
+const char *mutationKindName(MutationKind kind);
+
+/**
+ * Deterministically mutate @p bytes (seed => same mutant). The result
+ * may be any length, including empty.
+ */
+std::string mutateSerialized(const std::string &bytes,
+                             MutationKind kind, std::uint64_t seed);
+
+/** How one mutant fared. */
+enum class MutantOutcome : std::uint8_t
+{
+    kRejectedAtLoad,    ///< RecordingFormatError from the loader
+    kReplayedIdentically, ///< mutation did not change replay-relevant bytes
+    kDivergenceDetected, ///< structured report with a localized chunk
+    kReplayErrorReported, ///< typed ReplayError converted to a report
+    kUnexpected,        ///< anything else — a sweep failure
+};
+
+/** Short printable name of a mutant outcome. */
+const char *mutantOutcomeName(MutantOutcome outcome);
+
+/** One mutant's result. */
+struct MutantResult
+{
+    MutationKind kind = MutationKind::kBitFlip;
+    std::uint64_t seed = 0;
+    MutantOutcome outcome = MutantOutcome::kUnexpected;
+    DivergenceReport report;
+};
+
+/** Aggregate of a fault-injection sweep. */
+struct FaultSweepSummary
+{
+    std::uint64_t total = 0;
+    std::uint64_t rejectedAtLoad = 0;
+    std::uint64_t replayedIdentically = 0;
+    std::uint64_t divergenceDetected = 0;
+    std::uint64_t replayErrorReported = 0;
+    std::uint64_t unexpected = 0;
+    /// The failing mutants (empty when the sweep is clean).
+    std::vector<MutantResult> unexpectedResults;
+
+    bool ok() const { return unexpected == 0; }
+    void add(const MutantResult &r);
+    std::string describe() const;
+};
+
+/**
+ * Run one mutant: serialize-side mutation of @p serialized, then
+ * load + checked replay with @p opts.
+ */
+MutantResult runMutant(const std::string &serialized, MutationKind kind,
+                       std::uint64_t seed,
+                       const ReplayCheckOptions &opts = {});
+
+/**
+ * Sweep @p mutants_per_kind mutants of every kind over @p rec.
+ * Mutation seeds derive from @p seed0. Runs on the calling thread;
+ * callers wanting parallelism fan runMutant() out themselves (see
+ * bench/validate_sweep.cpp).
+ */
+FaultSweepSummary runFaultSweep(const Recording &rec,
+                                unsigned mutants_per_kind,
+                                std::uint64_t seed0,
+                                const ReplayCheckOptions &opts = {});
+
+} // namespace delorean
+
+#endif // DELOREAN_VALIDATE_FAULT_INJECTOR_HPP_

@@ -1,0 +1,102 @@
+#include "validate/replay_check.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+
+#include "common/errors.hpp"
+#include "core/serialize.hpp"
+#include "trace/workload.hpp"
+#include "validate/localizer.hpp"
+
+namespace delorean
+{
+
+std::uint64_t
+defaultReplayEventBudget(const Recording &rec)
+{
+    // Size the budget from parsed log content, not from the headline
+    // stats (a corrupted stats field must not inflate the budget).
+    const std::uint64_t commits =
+        rec.fingerprint.commits.size() + rec.dma.count()
+        + rec.machine.numProcs;
+    const std::uint64_t budget = 5000 * commits + 1'000'000;
+    return std::min<std::uint64_t>(budget, 2'000'000'000ull);
+}
+
+ReplayCheckResult
+checkedReplay(const Recording &rec, const ReplayCheckOptions &opts)
+{
+    ReplayCheckResult result;
+    DivergenceReport &report = result.report;
+
+    try {
+        validateRecording(rec);
+    } catch (const RecordingFormatError &e) {
+        report.kind = DivergenceKind::kFormatError;
+        report.message = e.what();
+        return result;
+    }
+
+    std::optional<Workload> workload;
+    try {
+        workload.emplace(rec.appName, rec.machine.numProcs,
+                         rec.workloadSeed,
+                         WorkloadScale{rec.iterationsPercent});
+    } catch (const std::exception &e) {
+        report.kind = DivergenceKind::kWorkloadError;
+        report.message = e.what();
+        return result;
+    }
+
+    EngineOptions eopts;
+    eopts.replay = true;
+    eopts.envSeed = opts.envSeed;
+    eopts.perturb = opts.perturb;
+    eopts.maxEvents =
+        opts.maxEvents ? opts.maxEvents : defaultReplayEventBudget(rec);
+
+    try {
+        ChunkEngine engine(*workload, rec.machine, rec.mode, eopts);
+        result.outcome = engine.replay(rec);
+        result.replayRan = true;
+    } catch (const ReplayError &e) {
+        report.kind = DivergenceKind::kReplayError;
+        report.message = e.what();
+        return result;
+    } catch (const std::exception &e) {
+        // Anything untyped coming out of the engine is still reported
+        // (not rethrown) so sweeps keep their no-crash guarantee, but
+        // the message flags it as unexpected for triage.
+        report.kind = DivergenceKind::kReplayError;
+        report.message = std::string("unexpected replay exception: ")
+                         + e.what();
+        return result;
+    }
+
+    const bool matched = rec.stratified()
+                             ? result.outcome.deterministicPerProc
+                             : result.outcome.deterministicExact;
+    if (matched) {
+        result.ok = true;
+        return result;
+    }
+
+    LocalizerOptions lopts;
+    lopts.period = opts.localizerPeriod;
+    report = localizeDivergence(rec.fingerprint,
+                                result.outcome.fingerprint, &rec, lopts);
+    if (report.ok()) {
+        // The engine judged the replay non-deterministic but the
+        // localizer found fingerprints equal — only possible for an
+        // interval-replay expectation mismatch; surface it rather
+        // than claim success.
+        report.kind = DivergenceKind::kStateDivergence;
+        report.message = "engine reported non-determinism the "
+                         "localizer could not attribute";
+    }
+    return result;
+}
+
+} // namespace delorean

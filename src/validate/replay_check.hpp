@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Checked replay: replay a Recording with every failure mode fenced.
+ *
+ * The contract the fault injector and the replay_check CLI rely on:
+ * for ANY byte string that parses as a Recording, checkedReplay()
+ * terminates in bounded time and returns either success or a
+ * structured DivergenceReport — never a crash, a hang, or a silent
+ * wrong answer. Malformed recordings are rejected by
+ * validateRecording(); replays that cannot follow the log raise
+ * typed ReplayErrors (converted to reports); replays that run but
+ * produce a different execution are localized to the first divergent
+ * chunk; and a shrunken event budget converts any livelock a corrupt
+ * log could cause into a prompt ReplayBudgetExceeded.
+ */
+
+#ifndef DELOREAN_VALIDATE_REPLAY_CHECK_HPP_
+#define DELOREAN_VALIDATE_REPLAY_CHECK_HPP_
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "core/recording.hpp"
+#include "validate/divergence.hpp"
+
+namespace delorean
+{
+
+/** Knobs for a checked replay. */
+struct ReplayCheckOptions
+{
+    /// Environment (device/noise) seed — deliberately different from
+    /// typical record seeds so determinism is not timing luck.
+    std::uint64_t envSeed = 99;
+    /// Replay event budget; 0 derives one from the recording's size
+    /// (defaultReplayEventBudget).
+    std::uint64_t maxEvents = 0;
+    /// Commits per localizer interval fingerprint.
+    std::uint64_t localizerPeriod = 64;
+    /// Timing perturbation (Section 6.2.1) applied to the replay.
+    ReplayPerturbation perturb{};
+};
+
+/** Outcome of a checked replay. */
+struct ReplayCheckResult
+{
+    /// True iff the replay ran and reproduced the recording's
+    /// fingerprint (exactly; per-processor for stratified logs).
+    bool ok = false;
+    /// kNone when ok; otherwise the classified failure.
+    DivergenceReport report;
+    /// Engine outcome; meaningful only when replayRan.
+    ReplayOutcome outcome;
+    /// True when the engine ran to completion (even if divergent).
+    bool replayRan = false;
+};
+
+/**
+ * Event budget scaled to the recording's actual size: generous per
+ * commit (a healthy replay uses a few dozen events per commit, this
+ * allows thousands) yet small enough that a corrupted log failing to
+ * make progress dies in milliseconds instead of the global 2e9-event
+ * safety valve.
+ */
+std::uint64_t defaultReplayEventBudget(const Recording &rec);
+
+/** Replay @p rec under the contract described in the file header. */
+ReplayCheckResult checkedReplay(const Recording &rec,
+                                const ReplayCheckOptions &opts = {});
+
+} // namespace delorean
+
+#endif // DELOREAN_VALIDATE_REPLAY_CHECK_HPP_

@@ -168,5 +168,110 @@ TEST(BitStream, BatchedMatchesBitAtATimeReference)
     }
 }
 
+TEST(BitStream, ReadPastEndThrowsTyped)
+{
+    BitWriter w;
+    w.write(0xAB, 8);
+    BitReader r(w);
+    EXPECT_EQ(r.read(6), 0x2Bu);
+    // 2 bits left; asking for 3 must throw without consuming them.
+    EXPECT_THROW(r.read(3), BitstreamExhausted);
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_EQ(r.read(2), 0x2u);
+    EXPECT_THROW(r.read(1), BitstreamExhausted);
+}
+
+TEST(BitStream, ExhaustedIsARecordingFormatError)
+{
+    // The loader's catch-all for corrupt streams is
+    // RecordingFormatError; the reader's overrun error must be one.
+    BitWriter w;
+    BitReader r(w);
+    try {
+        r.read(1);
+        FAIL() << "read past end did not throw";
+    } catch (const RecordingFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("position 0 of 0"),
+                  std::string::npos);
+    }
+}
+
+TEST(BitStream, TryReadDoesNotThrow)
+{
+    BitWriter w;
+    w.write(0b1011, 4);
+    BitReader r(w);
+    std::uint64_t out = 99;
+    EXPECT_FALSE(r.tryRead(5, out));
+    EXPECT_EQ(out, 99u); // untouched on failure
+    EXPECT_TRUE(r.tryRead(4, out));
+    EXPECT_EQ(out, 0b1011u);
+    EXPECT_FALSE(r.tryRead(1, out));
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(BitStream, ZeroWidthReadAtEndSucceeds)
+{
+    BitWriter w;
+    BitReader r(w);
+    EXPECT_EQ(r.read(0), 0u);
+    std::uint64_t out = 0;
+    EXPECT_TRUE(r.tryRead(0, out));
+}
+
+// Regression tests for the partial-byte tail at the 64-bit
+// accumulator boundary: bytes() materializes pending accumulator
+// bits, and a subsequent write that spills the accumulator must store
+// its word over those tail bytes, not after them.
+
+TEST(BitStream, TailSyncAtExactAccumulatorBoundary)
+{
+    BitWriter w;
+    w.write(~0ull, 63);
+    EXPECT_EQ(w.bytes().size(), 8u); // 63 pending bits, 8 tail bytes
+    EXPECT_EQ(w.wordFlushes(), 0u);
+    w.write(1, 1); // fills the accumulator exactly: one spill
+    EXPECT_EQ(w.wordFlushes(), 1u);
+    EXPECT_EQ(w.bytes().size(), 8u);
+    BitReader r(w);
+    EXPECT_EQ(r.read(64), ~0ull);
+}
+
+TEST(BitStream, TailReadThenSpillDoesNotDuplicateBytes)
+{
+    BitWriter w;
+    w.write(0x7FFF, 15);
+    const auto tail_before = w.bytes(); // materializes 2 tail bytes
+    EXPECT_EQ(tail_before.size(), 2u);
+    w.write(0x1234'5678'9ABCull, 64 - 15 + 3); // spills + 3 pending
+    EXPECT_EQ(w.bitCount(), 67u);
+    EXPECT_EQ(w.bytes().size(), 9u); // 67 bits -> 9 bytes, not 10
+    BitReader r(w);
+    EXPECT_EQ(r.read(15), 0x7FFFu);
+    EXPECT_EQ(r.read(52), 0x1234'5678'9ABCull & ((1ull << 52) - 1));
+}
+
+TEST(BitStream, PartialByteFlushAroundBoundaryMatchesReference)
+{
+    // Sweep every pending-bit count around the 64-bit boundary with a
+    // bytes() call interleaved, the pattern a mid-record log-size
+    // probe produces.
+    for (unsigned first = 57; first <= 64; ++first) {
+        for (unsigned second = 1; second <= 16; ++second) {
+            BitWriter batched;
+            ReferenceWriter ref;
+            batched.write(0xA5A5'A5A5'A5A5'A5A5ull, first);
+            ref.write(0xA5A5'A5A5'A5A5'A5A5ull, first);
+            ASSERT_EQ(batched.bytes(), ref.bytes)
+                << "first=" << first;
+            batched.write(0x5A5A'5A5A'5A5A'5A5Aull, second);
+            ref.write(0x5A5A'5A5A'5A5A'5A5Aull, second);
+            ASSERT_EQ(batched.bytes(), ref.bytes)
+                << "first=" << first << " second=" << second;
+            ASSERT_EQ(batched.bitCount(), first + second);
+        }
+    }
+}
+
 } // namespace
 } // namespace delorean

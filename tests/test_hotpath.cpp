@@ -36,7 +36,8 @@ serialized(const Recording &rec)
 }
 
 Recording
-recordSmall(const char *app, bool exact_disambiguation, bool filter)
+recordSmall(const char *app, bool exact_disambiguation, bool filter,
+            const ModeConfig &mode = ModeConfig::orderOnly())
 {
     if (filter)
         unsetenv("DELOREAN_NO_SUMMARY_FILTER");
@@ -46,22 +47,30 @@ recordSmall(const char *app, bool exact_disambiguation, bool filter)
     machine.bulk.exactDisambiguation = exact_disambiguation;
     const Workload workload(app, machine.numProcs, kSeed,
                             WorkloadScale{3});
-    Recording rec =
-        Recorder(ModeConfig::orderOnly(), machine).record(workload, 7);
+    Recording rec = Recorder(mode, machine).record(workload, 7);
     unsetenv("DELOREAN_NO_SUMMARY_FILTER");
     return rec;
 }
 
 // The filters are pure short-circuits: disabling them via the escape
-// hatch must reproduce the exact same recording, under both exact and
-// signature disambiguation.
+// hatch must reproduce the exact same recording — in every execution
+// mode, under both exact and signature disambiguation.
 TEST(CommitFastPath, FilterOnOffRecordingsByteIdentical)
 {
-    for (const bool exact : {true, false}) {
-        const Recording with = recordSmall("radix", exact, true);
-        const Recording without = recordSmall("radix", exact, false);
-        EXPECT_EQ(serialized(with), serialized(without))
-            << "exactDisambiguation=" << exact;
+    const std::pair<const char *, ModeConfig> modes[] = {
+        {"order-and-size", ModeConfig::orderAndSize()},
+        {"order-only", ModeConfig::orderOnly()},
+        {"picolog", ModeConfig::picoLog()},
+    };
+    for (const auto &[name, mode] : modes) {
+        for (const bool exact : {true, false}) {
+            const Recording with =
+                recordSmall("radix", exact, true, mode);
+            const Recording without =
+                recordSmall("radix", exact, false, mode);
+            EXPECT_EQ(serialized(with), serialized(without))
+                << name << " exactDisambiguation=" << exact;
+        }
     }
 }
 
@@ -130,6 +139,59 @@ TEST(WordMap, OperatorBracketDefaultsToZero)
     EXPECT_EQ(map[42], 7u);
     map.clear();
     EXPECT_EQ(map[42], 0u);
+}
+
+// The epoch counter is 32-bit; when clear() wraps it back to the
+// starting epoch, the wraparound hard reset must keep entries from
+// 2^32 clears ago dead. Without forceEpochForTest this would need
+// four billion clear() calls to reach.
+TEST(WordMap, EpochWraparoundHardReset)
+{
+    WordMap map;
+    map[100] = 1; // written under the initial epoch (1)
+    map[200] = 2;
+
+    map.forceEpochForTest(0xFFFFFFFFu);
+    // Entries from other epochs read as absent...
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(100));
+    map[300] = 3; // written under epoch 0xFFFFFFFF
+    EXPECT_EQ(map.size(), 1u);
+
+    // ...and the wrapping clear() lands back on the *initial* epoch,
+    // where keys 100/200 were written: only the hard reset keeps
+    // their slots from coming back to life.
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(100));
+    EXPECT_FALSE(map.contains(200));
+    EXPECT_FALSE(map.contains(300));
+    EXPECT_EQ(map.find(100), nullptr);
+
+    // The map keeps working normally after the wrap.
+    map[100] = 7;
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map[100], 7u);
+    map.clear();
+    EXPECT_FALSE(map.contains(100));
+}
+
+TEST(WordMap, GrowthUnderForcedEpochKeepsEntries)
+{
+    WordMap map;
+    map.forceEpochForTest(0xFFFFFFF0u);
+    // Enough inserts to force at least one growth rehash.
+    for (Addr k = 0; k < 1000; ++k)
+        map[k] = k * 3;
+    ASSERT_EQ(map.size(), 1000u);
+    for (Addr k = 0; k < 1000; ++k) {
+        const std::uint64_t *found = map.find(k);
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(*found, k * 3);
+    }
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(0));
 }
 
 // MemoryState's open-addressed table erases entries when a word is

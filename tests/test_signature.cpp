@@ -266,5 +266,62 @@ TEST(Signature, EpochClearThenUnion)
     EXPECT_FALSE(dst.intersects(old_lines));
 }
 
+// The per-word epoch tags are 32-bit; when clear() wraps the counter
+// back to the starting epoch, the hard reset must keep words from
+// 2^32 clears ago dead. forceEpochForTest jumps to the wrap point.
+TEST(Signature, EpochWraparoundHardReset)
+{
+    Signature s;
+    s.insert(100); // words tagged with the initial epoch (0)
+    s.insert(200);
+
+    s.forceEpochForTest(0xFFFFFFFFu);
+    // Words from other epochs read as zero...
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.mayContain(100));
+    s.insert(300); // tagged 0xFFFFFFFF
+    EXPECT_TRUE(s.mayContain(300));
+
+    // ...and the wrapping clear() lands back on the initial epoch,
+    // where lines 100/200 were inserted: only the hard reset keeps
+    // those words from resurfacing.
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.popCount(), 0u);
+    EXPECT_FALSE(s.mayContain(100));
+    EXPECT_FALSE(s.mayContain(200));
+    EXPECT_FALSE(s.mayContain(300));
+
+    // The signature keeps working normally after the wrap.
+    s.insert(100);
+    EXPECT_TRUE(s.mayContain(100));
+    EXPECT_FALSE(s.mayContain(200));
+    Signature other;
+    other.insert(100);
+    EXPECT_TRUE(s.intersects(other));
+}
+
+// forceEpochForTest must leave the summary/word invariant intact:
+// the summaries are rebuilt from the words live under the new epoch,
+// so the summary fast path stays conservative.
+TEST(Signature, ForcedEpochRebuildsSummaries)
+{
+    Signature s;
+    s.insert(0x1234);
+    s.forceEpochForTest(0); // current epoch: words stay live
+    EXPECT_TRUE(s.mayContain(0x1234));
+    EXPECT_FALSE(s.empty());
+
+    Signature probe;
+    probe.insert(0x1234);
+    EXPECT_TRUE(s.summaryIntersects(probe));
+    EXPECT_TRUE(s.intersects(probe));
+
+    s.forceEpochForTest(7); // different epoch: all words stale
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.summaryIntersects(probe));
+    EXPECT_FALSE(s.intersects(probe));
+}
+
 } // namespace
 } // namespace delorean

@@ -126,5 +126,104 @@ TEST(StrataCursor, ConsumesCountsThenAdvances)
     EXPECT_TRUE(cur.atEnd());
 }
 
+TEST(Stratifier, CutAtExactCounterMaximum)
+{
+    // A counter at exactly max_per_proc must cut BEFORE the incoming
+    // commit is counted: no stratum may ever carry a counter above
+    // the maximum (the serialized field would not hold it).
+    for (unsigned max : {1u, 3u, 7u}) {
+        Stratifier strat(2, max);
+        for (unsigned i = 0; i < 3 * max + 1; ++i)
+            strat.onCommit(0, sigOf(0x100 + i));
+        strat.finish();
+        ASSERT_EQ(strat.strata().size(), 4u) << "max=" << max;
+        for (const Stratum &s : strat.strata())
+            for (const std::uint8_t c : s.counts)
+                ASSERT_LE(c, max) << "max=" << max;
+        // First three strata are full, the tail holds the remainder.
+        EXPECT_EQ(strat.strata()[0].counts[0], max);
+        EXPECT_EQ(strat.strata()[3].counts[0], 1u);
+    }
+}
+
+TEST(Stratifier, CounterValueAtMaxFitsCounterBits)
+{
+    // The packed field is counterBits() wide; the maximum counter
+    // value must round-trip through it at the exact boundary.
+    for (unsigned max : {1u, 2u, 3u, 4u, 7u, 8u, 15u}) {
+        Stratifier strat(1, max);
+        EXPECT_LE(max, (1u << strat.counterBits()) - 1u)
+            << "max=" << max;
+        for (unsigned i = 0; i < max; ++i)
+            strat.onCommit(0, sigOf(0x200 + i));
+        strat.finish();
+        ASSERT_EQ(strat.strata().size(), 1u);
+        EXPECT_EQ(strat.strata()[0].counts[0], max);
+    }
+}
+
+TEST(Stratifier, OverflowCutSkipsConflictCheck)
+{
+    // When the overflow rule fires, the incoming chunk starts a fresh
+    // stratum even though it also conflicts with another SR — one
+    // cut, not two.
+    Stratifier strat(2, 1);
+    strat.onCommit(0, sigOf(0x42));
+    strat.onCommit(1, sigOf(0x42)); // conflict with proc 0 -> cut
+    strat.onCommit(1, sigOf(0x43)); // overflow (counter at max) -> cut
+    strat.finish();
+    ASSERT_EQ(strat.strata().size(), 3u);
+    EXPECT_EQ(strat.strata()[0].counts, (std::vector<std::uint8_t>{1, 0}));
+    EXPECT_EQ(strat.strata()[1].counts, (std::vector<std::uint8_t>{0, 1}));
+    EXPECT_EQ(strat.strata()[2].counts, (std::vector<std::uint8_t>{0, 1}));
+}
+
+TEST(StrataCursor, ConsumeBeyondBudgetThrowsTyped)
+{
+    std::vector<Stratum> strata;
+    strata.push_back(Stratum{{1, 0}, false});
+
+    StrataCursor cur(strata, 2);
+    EXPECT_THROW(cur.consume(1), ReplayError); // budget 0 this stratum
+    EXPECT_THROW(cur.consume(7), ReplayError); // no such processor
+    cur.consume(0);
+    EXPECT_TRUE(cur.atEnd());
+    EXPECT_THROW(cur.consume(0), ReplayError); // log fully drained
+}
+
+TEST(StrataCursor, UndersizedCountVectorThrowsFormatError)
+{
+    // A corrupt recording can hold a stratum whose counts vector does
+    // not match the processor count; indexing it blind would be UB.
+    std::vector<Stratum> strata;
+    strata.push_back(Stratum{{1}, false});
+    EXPECT_THROW(StrataCursor(strata, 4), RecordingFormatError);
+
+    // ...also when it is hit mid-log rather than at construction.
+    std::vector<Stratum> ok_then_bad;
+    ok_then_bad.push_back(Stratum{{1, 1, 1, 1}, false});
+    ok_then_bad.push_back(Stratum{{1, 2, 3}, false});
+    StrataCursor cur(ok_then_bad, 4);
+    cur.consume(0);
+    cur.consume(1);
+    cur.consume(2);
+    EXPECT_THROW(cur.consume(3), RecordingFormatError);
+}
+
+TEST(StrataCursor, AllZeroStrataAreSkipped)
+{
+    std::vector<Stratum> strata;
+    strata.push_back(Stratum{{0, 0}, false});
+    strata.push_back(Stratum{{0, 1}, false});
+    strata.push_back(Stratum{{0, 0}, false});
+
+    StrataCursor cur(strata, 2);
+    EXPECT_FALSE(cur.atEnd());
+    EXPECT_EQ(cur.remainingFor(0), 0u);
+    EXPECT_EQ(cur.remainingFor(1), 1u);
+    cur.consume(1);
+    EXPECT_TRUE(cur.atEnd());
+}
+
 } // namespace
 } // namespace delorean

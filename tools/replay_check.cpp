@@ -1,0 +1,269 @@
+/**
+ * @file
+ * replay_check: command-line front end of the validation subsystem.
+ *
+ *   replay_check --record <app> <mode> <file>   record an execution
+ *                                               and serialize it
+ *   replay_check <file>                         load + checked replay,
+ *                                               print a DivergenceReport
+ *   replay_check --differential [<app>|all]     cross-mode differential
+ *                                               check (default: all)
+ *   replay_check --fault-sweep <app> [<n>]      n mutants per mutation
+ *                                               kind per mode (def. 40)
+ *
+ * Modes: order-and-size | order-only | order-only-strat | picolog.
+ * Exit status 0 = validated, 1 = divergence/violation found,
+ * 2 = usage or I/O error. A corrupt input file is NOT an I/O error:
+ * it exits 1 with the loader's structured rejection, which is the
+ * behavior the fault injector certifies.
+ *
+ * Knobs (environment): DELOREAN_JOBS worker count, DELOREAN_SCALE
+ * workload scale percent, DELOREAN_NUM_PROCS processor count.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "core/recorder.hpp"
+#include "core/serialize.hpp"
+#include "trace/app_profile.hpp"
+#include "trace/workload.hpp"
+#include "validate/differential.hpp"
+#include "validate/fault_injector.hpp"
+#include "validate/replay_check.hpp"
+
+using namespace delorean;
+
+namespace
+{
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+DifferentialJob
+baseJob()
+{
+    DifferentialJob job;
+    job.numProcs = envUnsigned("DELOREAN_NUM_PROCS", job.numProcs);
+    job.scalePercent = envUnsigned("DELOREAN_SCALE", job.scalePercent);
+    return job;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: replay_check <file>\n"
+        "       replay_check --record <app> <mode> <file>\n"
+        "       replay_check --differential [<app>|all]\n"
+        "       replay_check --fault-sweep <app> [<mutants-per-kind>]\n"
+        "modes: order-and-size order-only order-only-strat picolog\n");
+    return 2;
+}
+
+bool
+modeByName(const std::string &name, ModeConfig &mode, unsigned strat)
+{
+    if (name == "order-and-size") {
+        mode = ModeConfig::orderAndSize();
+    } else if (name == "order-only") {
+        mode = ModeConfig::orderOnly();
+    } else if (name == "order-only-strat") {
+        mode = ModeConfig::orderOnly();
+        mode.stratifyChunksPerProc = strat;
+    } else if (name == "picolog") {
+        mode = ModeConfig::picoLog();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+int
+doRecord(const std::string &app, const std::string &mode_name,
+         const std::string &path)
+{
+    const DifferentialJob job = baseJob();
+    ModeConfig mode;
+    if (!modeByName(mode_name, mode, job.stratifyChunksPerProc)) {
+        std::fprintf(stderr, "replay_check: unknown mode \"%s\"\n",
+                     mode_name.c_str());
+        return usage();
+    }
+
+    MachineConfig machine;
+    machine.numProcs = job.numProcs;
+    try {
+        Workload workload(app, job.numProcs, job.workloadSeed,
+                          WorkloadScale{job.scalePercent});
+        const Recording rec =
+            Recorder(mode, machine).record(workload, job.recordEnvSeed);
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "replay_check: cannot write %s\n",
+                         path.c_str());
+            return 2;
+        }
+        saveRecording(rec, out);
+        std::printf("recorded %s (%s): %zu commits, %llu PI bits, "
+                    "%llu CS bits -> %s\n",
+                    app.c_str(), mode_name.c_str(),
+                    rec.fingerprint.commits.size(),
+                    static_cast<unsigned long long>(
+                        rec.logSizes().pi.rawBits),
+                    static_cast<unsigned long long>(
+                        rec.logSizes().cs.rawBits),
+                    path.c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "replay_check: record failed: %s\n",
+                     e.what());
+        return 2;
+    }
+    return 0;
+}
+
+int
+doCheckFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "replay_check: cannot read %s\n",
+                     path.c_str());
+        return 2;
+    }
+
+    Recording rec;
+    try {
+        rec = loadRecording(in);
+    } catch (const RecordingFormatError &e) {
+        std::printf("%s: rejected at load\n  %s\n", path.c_str(),
+                    e.what());
+        return 1;
+    }
+
+    const ReplayCheckResult check = checkedReplay(rec);
+    if (check.ok) {
+        std::printf("%s: replay deterministic (%s, %s, %u procs, "
+                    "%zu commits)\n",
+                    path.c_str(), rec.appName.c_str(),
+                    rec.stratified()
+                        ? "order-only-strat"
+                        : (rec.mode.mode == ExecMode::kPicoLog
+                               ? "picolog"
+                               : (rec.mode.mode == ExecMode::kOrderOnly
+                                      ? "order-only"
+                                      : "order-and-size")),
+                    rec.machine.numProcs,
+                    rec.fingerprint.commits.size());
+        return 0;
+    }
+    std::printf("%s: %s\n%s\n", path.c_str(),
+                divergenceKindName(check.report.kind),
+                check.report.describe().c_str());
+    return 1;
+}
+
+int
+doDifferential(const std::string &what)
+{
+    const DifferentialChecker checker;
+    const DifferentialJob base = baseJob();
+
+    std::vector<DifferentialResult> results;
+    if (what == "all") {
+        results = checker.checkAllApps(base);
+    } else {
+        DifferentialJob job = base;
+        job.app = what;
+        results.push_back(checker.check(job));
+    }
+
+    bool ok = true;
+    for (const DifferentialResult &r : results) {
+        std::puts(r.describe().c_str());
+        ok = ok && r.ok();
+    }
+    std::printf("differential: %zu job(s) %s\n", results.size(),
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
+int
+doFaultSweep(const std::string &app, unsigned per_kind)
+{
+    const DifferentialJob job = baseJob();
+    MachineConfig machine;
+    machine.numProcs = job.numProcs;
+
+    bool ok = true;
+    for (const auto &[name, mode] :
+         {std::pair<const char *, ModeConfig>{"order-and-size",
+                                              ModeConfig::orderAndSize()},
+          {"order-only", ModeConfig::orderOnly()},
+          {"picolog", ModeConfig::picoLog()}}) {
+        try {
+            Workload workload(app, job.numProcs, job.workloadSeed,
+                              WorkloadScale{job.scalePercent});
+            const Recording rec = Recorder(mode, machine)
+                                      .record(workload,
+                                              job.recordEnvSeed);
+            const FaultSweepSummary sweep =
+                runFaultSweep(rec, per_kind, job.workloadSeed);
+            std::printf("%s %s: %s\n", app.c_str(), name,
+                        sweep.describe().c_str());
+            ok = ok && sweep.ok();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "replay_check: %s %s: %s\n",
+                         app.c_str(), name, e.what());
+            return 2;
+        }
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+
+    if (args[0] == "--record")
+        return args.size() == 4 ? doRecord(args[1], args[2], args[3])
+                                : usage();
+    if (args[0] == "--differential")
+        return doDifferential(args.size() > 1 ? args[1] : "all");
+    if (args[0] == "--fault-sweep") {
+        if (args.size() < 2 || args.size() > 3)
+            return usage();
+        const unsigned per_kind =
+            args.size() == 3
+                ? static_cast<unsigned>(std::strtoul(
+                      args[2].c_str(), nullptr, 10))
+                : 40;
+        if (per_kind == 0)
+            return usage();
+        return doFaultSweep(args[1], per_kind);
+    }
+    if (args.size() == 1 && args[0][0] != '-')
+        return doCheckFile(args[0]);
+    return usage();
+}
