@@ -165,10 +165,7 @@ ChunkEngine::replay(const Recording &prior)
             procs_[p].irqBySeq.emplace(e.chunkSeq, e);
     }
 
-    const unsigned slots = opts_.replayDisableParallelCommit
-                               ? 1
-                               : machine_.bulk.maxConcurrentCommits;
-    slot_busy_until_.assign(slots, 0);
+    slot_busy_until_.assign(std::max(1u, opts_.replayWindow), 0);
 
     std::uint64_t interval_start = 0;
     if (const SystemCheckpoint *ckpt = opts_.startCheckpoint) {
@@ -1085,6 +1082,20 @@ ChunkEngine::arbiterProcess(Cycle now)
             break;
         grantChunk(p, now);
     }
+
+    // Replay head-stall accounting: a slot is free and some completed
+    // chunk is waiting, but the log head names a processor whose chunk
+    // has not arrived — the serialization the lookahead window cannot
+    // hide. The stall is charged when the head finally commits.
+    if (opts_.replay && head_stall_since_ == kNoCycle
+        && freeSlots(now) > 0) {
+        for (ProcId p = 0; p < n_; ++p) {
+            if (oldestReady(p)) {
+                head_stall_since_ = now;
+                break;
+            }
+        }
+    }
 }
 
 void
@@ -1110,6 +1121,22 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     }
     stats_.readyProcsAtCommit.add(static_cast<double>(countReadyProcs()));
     stats_.parallelCommits.add(static_cast<double>(busySlots(now)));
+    if (opts_.replay) {
+        stats_.replayWindowOccupancy.add(
+            static_cast<double>(busySlots(now)));
+        if (head_stall_since_ != kNoCycle) {
+            stats_.replayHeadStallCycles += now - head_stall_since_;
+            head_stall_since_ = kNoCycle;
+        }
+        if (strata_cursor_) {
+            for (ProcId q = 0; q < n_; ++q) {
+                if (q != p && strata_cursor_->remainingFor(q) > 0) {
+                    ++stats_.strataRelaxedRetires;
+                    break;
+                }
+            }
+        }
+    }
 
     const bool final_piece = !c.extra.remainderAfter;
 
@@ -1264,6 +1291,14 @@ ChunkEngine::grantDma(Cycle now)
             busy = now + occupancy;
             schedule(busy, EvKind::kCommitFinish, 0, 0);
             break;
+        }
+    }
+    if (opts_.replay) {
+        stats_.replayWindowOccupancy.add(
+            static_cast<double>(busySlots(now)));
+        if (head_stall_since_ != kNoCycle) {
+            stats_.replayHeadStallCycles += now - head_stall_since_;
+            head_stall_since_ = kNoCycle;
         }
     }
 

@@ -69,10 +69,16 @@ struct EngineOptions
     /// Environment randomness (devices, wrong-path noise); never
     /// architectural.
     std::uint64_t envSeed = 1;
-    /// Replay only: virtualization penalty — serial commits and this
-    /// arbitration latency (30 -> 50 cycles in the paper).
+    /// Replay only: virtualization penalty — this arbitration latency
+    /// (30 -> 50 cycles in the paper) on every replayed commit.
     Cycle replayArbitrationLatency = 50;
-    bool replayDisableParallelCommit = true;
+    /// Replay only: lookahead window — number of commit slots the
+    /// arbiter may occupy concurrently while retiring chunks in logged
+    /// order. 1 fully serializes replay (the paper's virtualized
+    /// arbiter); larger windows overlap commit occupancy without
+    /// changing the architectural retire order, so the replayed
+    /// fingerprint is identical at any width.
+    unsigned replayWindow = 1;
     ReplayPerturbation perturb;
     /// Event-budget override; 0 keeps the default safety valve. The
     /// validation layer shrinks this so a corrupted log that parks
@@ -323,6 +329,11 @@ class ChunkEngine
     // arbiter
     std::vector<Cycle> slot_busy_until_;
     std::uint64_t gcc_ = 0; ///< global (logical) chunk commit count
+    /// Replay: cycle at which the arbiter last found a completed chunk
+    /// it could not grant because the log head names another processor
+    /// (kNoCycle = not stalled). Accumulated into
+    /// EngineStats::replayHeadStallCycles at the next grant.
+    Cycle head_stall_since_ = kNoCycle;
     // PicoLog record token
     ProcId token_proc_ = 0;
     Cycle token_arrive_time_ = 0;

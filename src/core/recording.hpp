@@ -69,6 +69,19 @@ struct EngineStats
     /// completed but uncommitted (Table 6 "Stall Cycles").
     std::vector<std::uint64_t> perProcStallCycles;
 
+    // --- chunk-parallel replay (lookahead window) ----------------------
+    /// Commit slots busy at each replayed grant — how much of the
+    /// lookahead window the replay actually used.
+    RunningStat replayWindowOccupancy;
+    /// Cycles a completed chunk sat ready while the log head named a
+    /// processor whose chunk was still executing (the serialization
+    /// cost the window cannot remove).
+    std::uint64_t replayHeadStallCycles = 0;
+    /// Stratified replay: commits retired while another processor
+    /// still had budget in the same stratum — commits that exploited
+    /// the intra-stratum (conflict-free) ordering freedom.
+    std::uint64_t strataRelaxedRetires = 0;
+
     // --- PicoLog commit-token statistics (Table 6) ---------------------
     RunningStat readyProcsAtCommit; ///< procs with a ready chunk
     RunningStat parallelCommits;    ///< commits overlapping at initiation

@@ -79,6 +79,135 @@ CampaignRunner::run(std::vector<std::function<void()>> tasks) const
 }
 
 // ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+WorkerPool::WorkerPool(unsigned jobs)
+    : jobs_(jobs ? jobs : campaignJobs())
+{
+    threads_.reserve(jobs_ > 0 ? jobs_ - 1 : 0);
+    for (unsigned t = 0; t + 1 < jobs_; ++t)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+/**
+ * Execute tasks [first, size) as claimed from next_. @p size is
+ * captured under the pool mutex by every participant, so a worker
+ * whose first claim overshoots the batch never touches @p tasks at
+ * all (the batch may already be retired by then). A participant with
+ * executed-but-unaccounted tasks keeps the batch alive: runBatch()
+ * cannot observe completed_ == size until every execution has been
+ * accounted, so element access inside the loop is safe.
+ */
+void
+WorkerPool::drainFrom(std::vector<std::function<void()>> *tasks,
+                      std::size_t size, std::size_t first)
+{
+    std::size_t done = 0;
+    for (std::size_t i = first; i < size;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+            (*tasks)[i]();
+        } catch (...) {
+            std::lock_guard<std::mutex> guard(mu_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        ++done;
+    }
+    if (done) {
+        std::lock_guard<std::mutex> guard(mu_);
+        completed_ += done;
+        if (completed_ == size)
+            done_cv_.notify_all();
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::vector<std::function<void()>> *tasks = nullptr;
+        std::size_t size = 0;
+        std::size_t first = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            if (!batch_)
+                continue; // batch drained and retired before we woke
+            tasks = batch_;
+            size = batch_->size();
+            // First claim under the lock: batch_ != nullptr here, so
+            // the index provably belongs to this batch.
+            first = next_.fetch_add(1, std::memory_order_relaxed);
+        }
+        drainFrom(tasks, size, first);
+    }
+}
+
+void
+WorkerPool::runBatch(std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+    if (threads_.empty()) {
+        std::exception_ptr error;
+        for (auto &task : tasks) {
+            try {
+                task();
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        batch_ = &tasks;
+        completed_ = 0;
+        first_error_ = nullptr;
+        next_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    drainFrom(&tasks, tasks.size(),
+              next_.fetch_add(1, std::memory_order_relaxed));
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock,
+                      [this, &tasks] { return completed_ == tasks.size(); });
+        batch_ = nullptr;
+        error = first_error_;
+        first_error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+// ---------------------------------------------------------------------------
 // Recording cache
 // ---------------------------------------------------------------------------
 

@@ -27,11 +27,14 @@
 #define DELOREAN_SIM_CAMPAIGN_HPP_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -83,6 +86,56 @@ class CampaignRunner
 
   private:
     unsigned jobs_;
+};
+
+/**
+ * Persistent variant of the campaign substrate: a fixed set of worker
+ * threads executing batches of index-keyed tasks. CampaignRunner
+ * spawns threads per run() call, which is fine for campaigns whose
+ * tasks last seconds; schedulers that dispatch thousands of small
+ * batches (the chunk-parallel replayer's per-wave fan-out) need
+ * workers that survive between batches. Results are index-keyed
+ * exactly like CampaignRunner's, so batch outcomes are independent of
+ * worker count; the first exception a batch raises is rethrown from
+ * runBatch() after the batch drains. With one job the pool spawns no
+ * threads and runBatch() runs inline on the caller.
+ */
+class WorkerPool
+{
+  public:
+    /** @param jobs worker count; 0 uses campaignJobs(). */
+    explicit WorkerPool(unsigned jobs = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute every task in @p tasks, fanning across the pool's
+     * workers (the caller participates). Blocks until the batch
+     * drains; rethrows the first task exception.
+     */
+    void runBatch(std::vector<std::function<void()>> &tasks);
+
+  private:
+    void workerLoop();
+    void drainFrom(std::vector<std::function<void()>> *tasks,
+                   std::size_t size, std::size_t first);
+
+    unsigned jobs_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::function<void()>> *batch_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t completed_ = 0;
+    bool stop_ = false;
+    std::atomic<std::size_t> next_{0};
+    std::exception_ptr first_error_;
 };
 
 /** Everything that identifies one initial execution (record run). */

@@ -60,6 +60,23 @@ intervalFingerprintsAgree(const ExecutionFingerprint &recorded,
     return true;
 }
 
+/**
+ * A parallel replay leg agrees with the serial replay: matching
+ * fingerprint (exact; per-processor streams when stratified) and
+ * matching periodic interval fingerprints.
+ */
+bool
+agreesWithSerial(const ExecutionFingerprint &serial,
+                 const ExecutionFingerprint &parallel, bool stratified,
+                 std::uint64_t period)
+{
+    const bool states = stratified ? parallel.matchesPerProc(serial)
+                                   : parallel.matchesExact(serial);
+    return states
+           && intervalFingerprintsAgree(serial, parallel, stratified,
+                                        period);
+}
+
 /** Record + round-trip + checked replay of one configuration. */
 DifferentialRun
 runOne(const DifferentialJob &job, const std::string &label,
@@ -113,6 +130,38 @@ runOne(const DifferentialJob &job, const std::string &label,
         run.intervalsMatch = intervalFingerprintsAgree(
             loaded.fingerprint, check.outcome.fingerprint,
             run.stratified, job.localizerPeriod);
+    if (!check.replayRan)
+        return run;
+
+    // Leg 2: same engine, lookahead-window arbiter. Chunks retire in
+    // logged order with up to parallelWindow commit slots overlapped;
+    // the architectural outcome must match the serial replay.
+    ReplayCheckOptions wopts = opts;
+    wopts.replayWindow = job.parallelWindow;
+    const ReplayCheckResult windowed = checkedReplay(loaded, wopts);
+    run.windowedReplayOk = windowed.ok;
+    if (!windowed.ok)
+        run.parallelReport = windowed.report;
+    if (windowed.replayRan)
+        run.windowedMatchesSerial = agreesWithSerial(
+            check.outcome.fingerprint, windowed.outcome.fingerprint,
+            run.stratified, job.localizerPeriod);
+
+    // Leg 3: host-parallel chunk bodies on the WorkerPool.
+    ParallelReplayOptions popts;
+    popts.window = job.parallelWindow;
+    popts.jobs = job.parallelJobs;
+    ReplayCheckOptions fopts;
+    fopts.localizerPeriod = job.localizerPeriod;
+    const ReplayCheckResult par =
+        checkedParallelReplay(loaded, popts, fopts);
+    run.parallelReplayOk = par.ok;
+    if (!par.ok)
+        run.parallelReport = par.report;
+    if (par.replayRan)
+        run.parallelMatchesSerial = agreesWithSerial(
+            check.outcome.fingerprint, par.outcome.fingerprint,
+            run.stratified, job.localizerPeriod);
     return run;
 }
 
@@ -143,10 +192,19 @@ DifferentialResult::describe() const
         out << "pi=" << r.sizes.pi.rawBits << "b cs="
             << r.sizes.cs.rawBits << "b commits="
             << r.fingerprint.commits.size() << " replay="
-            << (r.replayOk ? "ok" : "DIVERGED")
+            << (r.replayOk ? "ok" : "DIVERGED") << " windowed="
+            << (r.windowedReplayOk && r.windowedMatchesSerial
+                    ? "ok"
+                    : "DIVERGED")
+            << " parallel="
+            << (r.parallelReplayOk && r.parallelMatchesSerial
+                    ? "ok"
+                    : "DIVERGED")
             << (r.roundTripIdentical ? "" : " round-trip=NOT-IDENTICAL");
         if (!r.replayOk)
             out << "\n    " << r.report.describe();
+        else if (!r.windowedReplayOk || !r.parallelReplayOk)
+            out << "\n    " << r.parallelReport.describe();
     }
     for (const std::string &f : failures)
         out << "\n  cross-check: " << f;
@@ -182,14 +240,30 @@ DifferentialChecker::check(const DifferentialJob &job) const
         }
         if (!r.roundTripIdentical)
             fail(r.label + ": save/load/save not byte-identical");
-        if (!r.replayOk)
+        if (!r.replayOk) {
             fail(r.label + ": replay diverged ("
                  + divergenceKindName(r.report.kind) + ": "
                  + r.report.message + ")");
-        else if (!r.intervalsMatch)
+            continue;
+        }
+        if (!r.intervalsMatch)
             fail(r.label + ": interval fingerprints disagree with a "
                  "matching final fingerprint (localizer invariant "
                  "broken)");
+        if (!r.windowedReplayOk)
+            fail(r.label + ": windowed replay diverged ("
+                 + divergenceKindName(r.parallelReport.kind) + ": "
+                 + r.parallelReport.message + ")");
+        else if (!r.windowedMatchesSerial)
+            fail(r.label + ": windowed replay fingerprint differs "
+                 "from serial replay");
+        if (!r.parallelReplayOk)
+            fail(r.label + ": chunk-parallel replay diverged ("
+                 + divergenceKindName(r.parallelReport.kind) + ": "
+                 + r.parallelReport.message + ")");
+        else if (!r.parallelMatchesSerial)
+            fail(r.label + ": chunk-parallel replay fingerprint "
+                 "differs from serial replay");
     }
     if (!result.failures.empty())
         return result;

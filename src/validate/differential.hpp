@@ -14,6 +14,11 @@
  *     recorded and replayed commit streams must agree at every
  *     boundary (per-processor streams for stratified logs, whose
  *     global interleaving is not canonical);
+ *   - serial and parallel replay describe the same execution: both
+ *     the lookahead-window arbiter (replayWindow > 1) and the
+ *     host-parallel chunk-body replayer must reproduce the serial
+ *     replay's fingerprint and interval fingerprints byte-identically
+ *     (per-processor streams for stratified logs);
  *   - flat and stratified OrderOnly recordings describe the *same*
  *     execution (identical fingerprints — commits, per-processor
  *     state and final memory hash), because stratification only
@@ -69,6 +74,11 @@ struct DifferentialJob
     bool perturbReplay = true;
     /// Commits per localizer interval fingerprint.
     std::uint64_t localizerPeriod = 32;
+    /// Lookahead window used for the windowed-arbiter and the
+    /// chunk-parallel replay legs.
+    unsigned parallelWindow = 8;
+    /// WorkerPool width for the chunk-parallel leg; 0 = DELOREAN_JOBS.
+    unsigned parallelJobs = 0;
 };
 
 /** One (mode, PI-flavor) recording + checked replay. */
@@ -80,11 +90,24 @@ struct DifferentialRun
     bool stratified = false;
     bool recorded = false;   ///< record + serialize round trip ran
     bool roundTripIdentical = false; ///< save/load/save byte-equal
-    bool replayOk = false;   ///< checkedReplay succeeded
+    bool replayOk = false;   ///< checkedReplay succeeded (serial)
     /// Recorded vs replayed periodic interval fingerprints agree at
     /// every boundary (localizerPeriod commits apart).
     bool intervalsMatch = false;
+    /// Replay with the lookahead-window arbiter (replayWindow =
+    /// job.parallelWindow) succeeded.
+    bool windowedReplayOk = false;
+    /// Windowed replay's fingerprint AND interval fingerprints agree
+    /// with the serial replay's (exactly; per-processor streams for
+    /// stratified logs, whose global retire order is legally relaxed).
+    bool windowedMatchesSerial = false;
+    /// checkedParallelReplay (host-parallel chunk bodies) succeeded.
+    bool parallelReplayOk = false;
+    /// Chunk-parallel replay's fingerprint AND interval fingerprints
+    /// agree with the serial replay's (same comparison rule).
+    bool parallelMatchesSerial = false;
     DivergenceReport report; ///< failure detail when !replayOk
+    DivergenceReport parallelReport; ///< ditto for the parallel legs
     LogSizeReport sizes;
     ExecutionFingerprint fingerprint;
     std::string error;       ///< exception text when !recorded

@@ -13,15 +13,81 @@
 namespace delorean
 {
 
+namespace
+{
+
+/**
+ * Shared head of both checked entry points: reject malformed
+ * recordings and rebuild the workload, reporting either failure.
+ * Returns nullopt with @p result.report filled on failure.
+ */
+std::optional<Workload>
+prepareWorkload(const Recording &rec, ReplayCheckResult &result)
+{
+    try {
+        validateRecording(rec);
+    } catch (const RecordingFormatError &e) {
+        result.report.kind = DivergenceKind::kFormatError;
+        result.report.message = e.what();
+        return std::nullopt;
+    }
+
+    try {
+        return Workload(rec.appName, rec.machine.numProcs,
+                        rec.workloadSeed,
+                        WorkloadScale{rec.iterationsPercent});
+    } catch (const std::exception &e) {
+        result.report.kind = DivergenceKind::kWorkloadError;
+        result.report.message = e.what();
+        return std::nullopt;
+    }
+}
+
+/**
+ * Shared tail: classify a replay that ran to completion — success on
+ * a matched fingerprint, otherwise localize the divergence.
+ */
+void
+classifyOutcome(const Recording &rec, const ReplayCheckOptions &opts,
+                ReplayCheckResult &result)
+{
+    const bool matched = rec.stratified()
+                             ? result.outcome.deterministicPerProc
+                             : result.outcome.deterministicExact;
+    if (matched) {
+        result.ok = true;
+        return;
+    }
+
+    LocalizerOptions lopts;
+    lopts.period = opts.localizerPeriod;
+    result.report = localizeDivergence(rec.fingerprint,
+                                       result.outcome.fingerprint, &rec,
+                                       lopts);
+    if (result.report.ok()) {
+        // The engine judged the replay non-deterministic but the
+        // localizer found fingerprints equal — only possible for an
+        // interval-replay expectation mismatch; surface it rather
+        // than claim success.
+        result.report.kind = DivergenceKind::kStateDivergence;
+        result.report.message = "engine reported non-determinism the "
+                                "localizer could not attribute";
+    }
+}
+
+} // namespace
+
 std::uint64_t
-defaultReplayEventBudget(const Recording &rec)
+defaultReplayEventBudget(const Recording &rec, unsigned replay_window)
 {
     // Size the budget from parsed log content, not from the headline
     // stats (a corrupted stats field must not inflate the budget).
     const std::uint64_t commits =
         rec.fingerprint.commits.size() + rec.dma.count()
         + rec.machine.numProcs;
-    const std::uint64_t budget = 5000 * commits + 1'000'000;
+    const std::uint64_t window = std::max(1u, replay_window);
+    const std::uint64_t budget =
+        5000 * commits * window + 1'000'000 * window;
     return std::min<std::uint64_t>(budget, 2'000'000'000ull);
 }
 
@@ -29,73 +95,71 @@ ReplayCheckResult
 checkedReplay(const Recording &rec, const ReplayCheckOptions &opts)
 {
     ReplayCheckResult result;
-    DivergenceReport &report = result.report;
 
-    try {
-        validateRecording(rec);
-    } catch (const RecordingFormatError &e) {
-        report.kind = DivergenceKind::kFormatError;
-        report.message = e.what();
+    const std::optional<Workload> workload = prepareWorkload(rec, result);
+    if (!workload)
         return result;
-    }
-
-    std::optional<Workload> workload;
-    try {
-        workload.emplace(rec.appName, rec.machine.numProcs,
-                         rec.workloadSeed,
-                         WorkloadScale{rec.iterationsPercent});
-    } catch (const std::exception &e) {
-        report.kind = DivergenceKind::kWorkloadError;
-        report.message = e.what();
-        return result;
-    }
 
     EngineOptions eopts;
     eopts.replay = true;
     eopts.envSeed = opts.envSeed;
     eopts.perturb = opts.perturb;
+    eopts.replayWindow = std::max(1u, opts.replayWindow);
     eopts.maxEvents =
-        opts.maxEvents ? opts.maxEvents : defaultReplayEventBudget(rec);
+        opts.maxEvents
+            ? opts.maxEvents
+            : defaultReplayEventBudget(rec, eopts.replayWindow);
 
     try {
         ChunkEngine engine(*workload, rec.machine, rec.mode, eopts);
         result.outcome = engine.replay(rec);
         result.replayRan = true;
     } catch (const ReplayError &e) {
-        report.kind = DivergenceKind::kReplayError;
-        report.message = e.what();
+        result.report.kind = DivergenceKind::kReplayError;
+        result.report.message = e.what();
         return result;
     } catch (const std::exception &e) {
         // Anything untyped coming out of the engine is still reported
         // (not rethrown) so sweeps keep their no-crash guarantee, but
         // the message flags it as unexpected for triage.
-        report.kind = DivergenceKind::kReplayError;
-        report.message = std::string("unexpected replay exception: ")
-                         + e.what();
+        result.report.kind = DivergenceKind::kReplayError;
+        result.report.message =
+            std::string("unexpected replay exception: ") + e.what();
         return result;
     }
 
-    const bool matched = rec.stratified()
-                             ? result.outcome.deterministicPerProc
-                             : result.outcome.deterministicExact;
-    if (matched) {
-        result.ok = true;
+    classifyOutcome(rec, opts, result);
+    return result;
+}
+
+ReplayCheckResult
+checkedParallelReplay(const Recording &rec,
+                      const ParallelReplayOptions &popts,
+                      const ReplayCheckOptions &opts)
+{
+    ReplayCheckResult result;
+
+    const std::optional<Workload> workload = prepareWorkload(rec, result);
+    if (!workload)
+        return result;
+
+    try {
+        ParallelReplayer replayer(popts);
+        result.outcome = replayer.replay(rec, *workload);
+        result.replayRan = true;
+    } catch (const ReplayError &e) {
+        result.report.kind = DivergenceKind::kReplayError;
+        result.report.message = e.what();
+        return result;
+    } catch (const std::exception &e) {
+        result.report.kind = DivergenceKind::kReplayError;
+        result.report.message =
+            std::string("unexpected parallel-replay exception: ")
+            + e.what();
         return result;
     }
 
-    LocalizerOptions lopts;
-    lopts.period = opts.localizerPeriod;
-    report = localizeDivergence(rec.fingerprint,
-                                result.outcome.fingerprint, &rec, lopts);
-    if (report.ok()) {
-        // The engine judged the replay non-deterministic but the
-        // localizer found fingerprints equal — only possible for an
-        // interval-replay expectation mismatch; surface it rather
-        // than claim success.
-        report.kind = DivergenceKind::kStateDivergence;
-        report.message = "engine reported non-determinism the "
-                         "localizer could not attribute";
-    }
+    classifyOutcome(rec, opts, result);
     return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/engine.hpp"
 #include "core/recording.hpp"
+#include "sim/parallel_replay.hpp"
 #include "validate/divergence.hpp"
 
 namespace delorean
@@ -39,6 +40,11 @@ struct ReplayCheckOptions
     std::uint64_t localizerPeriod = 64;
     /// Timing perturbation (Section 6.2.1) applied to the replay.
     ReplayPerturbation perturb{};
+    /// Lookahead window for the replay arbiter
+    /// (EngineOptions::replayWindow); 1 fully serializes replay. The
+    /// derived event budget scales with this so a stalled parallel
+    /// replay still fails in milliseconds.
+    unsigned replayWindow = 1;
 };
 
 /** Outcome of a checked replay. */
@@ -60,13 +66,32 @@ struct ReplayCheckResult
  * commit (a healthy replay uses a few dozen events per commit, this
  * allows thousands) yet small enough that a corrupted log failing to
  * make progress dies in milliseconds instead of the global 2e9-event
- * safety valve.
+ * safety valve. A lookahead window keeps up to @p replay_window
+ * chunks in flight, each generating its own slot-occupancy and retry
+ * events while the log head stalls, so the budget grows linearly with
+ * the window — a livelocked W=8 replay dies as promptly as a serial
+ * one instead of taking 8x the events to hit the fence.
  */
-std::uint64_t defaultReplayEventBudget(const Recording &rec);
+std::uint64_t defaultReplayEventBudget(const Recording &rec,
+                                       unsigned replay_window = 1);
 
 /** Replay @p rec under the contract described in the file header. */
 ReplayCheckResult checkedReplay(const Recording &rec,
                                 const ReplayCheckOptions &opts = {});
+
+/**
+ * Chunk-parallel (host-parallel, architectural) replay of @p rec
+ * under the same contract as checkedReplay(): bounded time, typed
+ * failures converted to structured reports, divergences localized.
+ * The instruction budget fences livelock the way maxEvents does for
+ * the engine. @p opts contributes the localizer period (envSeed and
+ * perturbation do not apply — the architectural replayer has no
+ * timing to perturb).
+ */
+ReplayCheckResult
+checkedParallelReplay(const Recording &rec,
+                      const ParallelReplayOptions &popts = {},
+                      const ReplayCheckOptions &opts = {});
 
 } // namespace delorean
 

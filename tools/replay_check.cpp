@@ -17,6 +17,11 @@
  * it exits 1 with the loader's structured rejection, which is the
  * behavior the fault injector certifies.
  *
+ * `--jobs <n>` (anywhere on the command line) sets the worker count
+ * for every parallel path — differential fan-out and chunk-parallel
+ * replay — overriding DELOREAN_JOBS. Checked file replays always
+ * cross-check the chunk-parallel replayer against the serial engine.
+ *
  * Knobs (environment): DELOREAN_JOBS worker count, DELOREAN_SCALE
  * workload scale percent, DELOREAN_NUM_PROCS processor count.
  */
@@ -69,9 +74,9 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: replay_check <file>\n"
+        "usage: replay_check [--jobs <n>] <file>\n"
         "       replay_check --record <app> <mode> <file>\n"
-        "       replay_check --differential [<app>|all]\n"
+        "       replay_check [--jobs <n>] --differential [<app>|all]\n"
         "       replay_check --fault-sweep <app> [<mutants-per-kind>]\n"
         "modes: order-and-size order-only order-only-strat picolog\n");
     return 2;
@@ -139,7 +144,7 @@ doRecord(const std::string &app, const std::string &mode_name,
 }
 
 int
-doCheckFile(const std::string &path)
+doCheckFile(const std::string &path, unsigned jobs)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -158,25 +163,47 @@ doCheckFile(const std::string &path)
     }
 
     const ReplayCheckResult check = checkedReplay(rec);
-    if (check.ok) {
-        std::printf("%s: replay deterministic (%s, %s, %u procs, "
-                    "%zu commits)\n",
-                    path.c_str(), rec.appName.c_str(),
-                    rec.stratified()
-                        ? "order-only-strat"
-                        : (rec.mode.mode == ExecMode::kPicoLog
-                               ? "picolog"
-                               : (rec.mode.mode == ExecMode::kOrderOnly
-                                      ? "order-only"
-                                      : "order-and-size")),
-                    rec.machine.numProcs,
-                    rec.fingerprint.commits.size());
-        return 0;
+    if (!check.ok) {
+        std::printf("%s: %s\n%s\n", path.c_str(),
+                    divergenceKindName(check.report.kind),
+                    check.report.describe().c_str());
+        return 1;
     }
-    std::printf("%s: %s\n%s\n", path.c_str(),
-                divergenceKindName(check.report.kind),
-                check.report.describe().c_str());
-    return 1;
+
+    // Serial replay reproduced the recording; cross-check the
+    // chunk-parallel replayer against it.
+    ParallelReplayOptions popts;
+    popts.jobs = jobs;
+    const ReplayCheckResult par = checkedParallelReplay(rec, popts);
+    const bool par_matches_serial =
+        par.replayRan
+        && (rec.stratified()
+                ? par.outcome.fingerprint.matchesPerProc(
+                      check.outcome.fingerprint)
+                : par.outcome.fingerprint.matchesExact(
+                      check.outcome.fingerprint));
+    if (!par.ok || !par_matches_serial) {
+        std::printf("%s: serial replay deterministic but "
+                    "chunk-parallel replay %s\n%s\n",
+                    path.c_str(),
+                    par.ok ? "differs from serial" : "diverged",
+                    par.report.describe().c_str());
+        return 1;
+    }
+
+    std::printf("%s: replay deterministic, serial == parallel "
+                "(%s, %s, %u procs, %zu commits)\n",
+                path.c_str(), rec.appName.c_str(),
+                rec.stratified()
+                    ? "order-only-strat"
+                    : (rec.mode.mode == ExecMode::kPicoLog
+                           ? "picolog"
+                           : (rec.mode.mode == ExecMode::kOrderOnly
+                                  ? "order-only"
+                                  : "order-and-size")),
+                rec.machine.numProcs,
+                rec.fingerprint.commits.size());
+    return 0;
 }
 
 int
@@ -242,7 +269,29 @@ doFaultSweep(const std::string &app, unsigned per_kind)
 int
 main(int argc, char **argv)
 {
-    const std::vector<std::string> args(argv + 1, argv + argc);
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    // --jobs <n> may appear anywhere; it overrides DELOREAN_JOBS for
+    // every worker pool the run constructs (campaignJobs()).
+    unsigned jobs = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--jobs")
+            continue;
+        if (i + 1 >= args.size())
+            return usage();
+        char *end = nullptr;
+        const unsigned long v =
+            std::strtoul(args[i + 1].c_str(), &end, 10);
+        if (end == args[i + 1].c_str() || *end != '\0' || v == 0)
+            return usage();
+        jobs = static_cast<unsigned>(v);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        break;
+    }
+    if (jobs)
+        setenv("DELOREAN_JOBS", std::to_string(jobs).c_str(), 1);
+
     if (args.empty())
         return usage();
 
@@ -264,6 +313,6 @@ main(int argc, char **argv)
         return doFaultSweep(args[1], per_kind);
     }
     if (args.size() == 1 && args[0][0] != '-')
-        return doCheckFile(args[0]);
+        return doCheckFile(args[0], jobs);
     return usage();
 }
