@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "ledger.hpp"
 #include "common/bitstream.hpp"
 #include "common/rng.hpp"
 #include "compress/lz77.hpp"
@@ -81,73 +82,6 @@ chunkLines(Xoshiro256ss &rng, unsigned count)
     return lines;
 }
 
-struct JsonWriter
-{
-    std::string out = "{\n";
-    bool first_section = true;
-
-    void
-    section(const char *name)
-    {
-        if (!first_section)
-            out += "\n  },\n";
-        first_section = false;
-        out += "  \"";
-        out += name;
-        out += "\": {";
-        first_field = true;
-    }
-
-    void
-    field(const char *key, double value)
-    {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.4f", value);
-        raw(key, buf);
-    }
-
-    void
-    field(const char *key, std::uint64_t value)
-    {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%" PRIu64, value);
-        raw(key, buf);
-    }
-
-    void
-    field(const char *key, bool value)
-    {
-        raw(key, value ? "true" : "false");
-    }
-
-    void
-    raw(const char *key, const char *value)
-    {
-        out += first_field ? "\n" : ",\n";
-        first_field = false;
-        out += "    \"";
-        out += key;
-        out += "\": ";
-        out += value;
-    }
-
-    void
-    writeTo(const char *path)
-    {
-        out += "\n  }\n}\n";
-        if (std::FILE *f = std::fopen(path, "w")) {
-            std::fwrite(out.data(), 1, out.size(), f);
-            std::fclose(f);
-        } else {
-            std::fprintf(stderr, "micro_hotpath: cannot write %s\n",
-                         path);
-        }
-    }
-
-  private:
-    bool first_field = true;
-};
-
 /** Record @p workload once; filter state is whatever the env says. */
 Recording
 recordOnce(const Workload &workload, double *wall_seconds)
@@ -169,7 +103,7 @@ int
 main()
 {
     const unsigned scale = delorean_bench::benchScale(10);
-    JsonWriter json;
+    delorean_bench::JsonLedger json("micro_hotpath");
 
     // ---- 1. Signature intersection: summary filter vs word walk ----
     // Pairs drawn from disjoint-by-construction chunk footprints, the
@@ -400,7 +334,7 @@ main()
         json.field("roundtrip_ok", roundtrip);
     }
 
-    const char *path = std::getenv("DELOREAN_HOTPATH_JSON");
-    json.writeTo(path ? path : "BENCH_hotpath.json");
+    json.writeTo(delorean_bench::JsonLedger::path(
+        "DELOREAN_HOTPATH_JSON", "BENCH_hotpath.json"));
     return 0;
 }

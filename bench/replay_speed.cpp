@@ -27,9 +27,9 @@
  */
 
 #include <algorithm>
-#include <fstream>
 
 #include "bench_util.hpp"
+#include "ledger.hpp"
 #include "sim/parallel_replay.hpp"
 #include "validate/replay_check.hpp"
 
@@ -104,14 +104,6 @@ identicalFingerprints(const ExecutionFingerprint &serial,
     return other.matchesExact(serial)
            && IntervalFingerprints::build(serial, period).prefixes
                   == IntervalFingerprints::build(other, period).prefixes;
-}
-
-std::string
-replayJsonPath()
-{
-    if (const char *env = std::getenv("DELOREAN_REPLAY_JSON"))
-        return env;
-    return "BENCH_replay.json";
 }
 
 } // namespace
@@ -233,56 +225,45 @@ main()
                 all_identical ? "YES" : "NO (BUG)");
 
     // ---- BENCH_replay.json ------------------------------------------
-    const std::string path = replayJsonPath();
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "replay_speed: cannot write %s\n",
-                     path.c_str());
-        return 2;
-    }
-    out << "{\n"
-        << "  \"harness\": \"replay_speed\",\n"
-        << "  \"jobs\": " << jobs << ",\n"
-        << "  \"window\": " << kWindow << ",\n"
-        << "  \"scalePercent\": " << scale << ",\n"
-        << "  \"apps\": {\n";
+    delorean_bench::JsonLedger ledger("replay_speed");
+    ledger.field("jobs", jobs);
+    ledger.field("window", kWindow);
+    ledger.field("scalePercent", scale);
+    ledger.open("apps");
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
-        out << "    \"" << apps[ai] << "\": {\n";
+        ledger.open(apps[ai]);
         for (std::size_t mi = 0; mi < std::size(modes); ++mi) {
             const Cell &cell = rows[ai][mi];
-            out << "      \"" << modes[mi].label << "\": {"
-                << "\"recordCycles\": " << cell.recordCycles
-                << ", \"serialReplayCycles\": "
-                << cell.serialReplayCycles
-                << ", \"windowedReplayCycles\": "
-                << cell.windowedReplayCycles
-                << ", \"serialReplayRatio\": " << cell.serialRatio()
-                << ", \"windowedReplayRatio\": " << cell.windowedRatio()
-                << ", \"windowOccupancyMean\": "
-                << cell.windowOccupancyMean
-                << ", \"headStallCycles\": " << cell.headStallCycles
-                << ", \"strataRelaxedRetires\": "
-                << cell.strataRelaxedRetires
-                << ", \"serialThroughput\": " << cell.serialThroughput
-                << ", \"parallelThroughput\": "
-                << cell.parallelThroughput
-                << ", \"parallelSpeedup\": " << cell.speedup()
-                << ", \"fingerprintsIdentical\": "
-                << (cell.fingerprintsIdentical ? "true" : "false")
-                << "}" << (mi + 1 < std::size(modes) ? "," : "")
-                << "\n";
+            ledger.open(modes[mi].label);
+            ledger.field("recordCycles", cell.recordCycles);
+            ledger.field("serialReplayCycles", cell.serialReplayCycles);
+            ledger.field("windowedReplayCycles",
+                         cell.windowedReplayCycles);
+            ledger.field("serialReplayRatio", cell.serialRatio());
+            ledger.field("windowedReplayRatio", cell.windowedRatio());
+            ledger.field("windowOccupancyMean",
+                         cell.windowOccupancyMean);
+            ledger.field("headStallCycles", cell.headStallCycles);
+            ledger.field("strataRelaxedRetires",
+                         cell.strataRelaxedRetires);
+            ledger.field("serialThroughput", cell.serialThroughput);
+            ledger.field("parallelThroughput", cell.parallelThroughput);
+            ledger.field("parallelSpeedup", cell.speedup());
+            ledger.field("fingerprintsIdentical",
+                         cell.fingerprintsIdentical);
+            ledger.close();
         }
-        out << "    }" << (ai + 1 < apps.size() ? "," : "") << "\n";
+        ledger.close();
     }
-    out << "  },\n"
-        << "  \"summary\": {\"appsAtOrAbove1.5x\": " << apps_at_speedup
-        << ", \"appCount\": " << apps.size()
-        << ", \"speedupGeomean\": " << geoMean(all_speedups)
-        << ", \"fingerprintsIdenticalEverywhere\": "
-        << (all_identical ? "true" : "false") << "}\n"
-        << "}\n";
-    out.close();
-    std::fprintf(stderr, "replay_speed: wrote %s\n", path.c_str());
+    ledger.close();
+    ledger.open("summary");
+    ledger.field("appsAtOrAbove1.5x", apps_at_speedup);
+    ledger.field("appCount", apps.size());
+    ledger.field("speedupGeomean", geoMean(all_speedups));
+    ledger.field("fingerprintsIdenticalEverywhere", all_identical);
+    if (!ledger.writeTo(delorean_bench::JsonLedger::path(
+            "DELOREAN_REPLAY_JSON", "BENCH_replay.json")))
+        return 2;
 
     return all_identical ? 0 : 1;
 }

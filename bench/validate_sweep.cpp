@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "ledger.hpp"
 #include "core/recorder.hpp"
 #include "core/serialize.hpp"
 #include "trace/app_profile.hpp"
@@ -40,48 +41,31 @@ namespace
 
 constexpr unsigned kMutantsPerKind = 40; // x5 kinds x3 modes = 600
 
-std::string
-validateReportPath()
-{
-    if (const char *env = std::getenv("DELOREAN_VALIDATE_JSON"))
-        return env;
-    return "BENCH_validate.json";
-}
-
 void
 writeReport(const std::vector<DifferentialResult> &diffs,
             const FaultSweepSummary &sweep, bool ok)
 {
-    std::ostringstream out;
-    out << "{\n  \"differential\": {\n";
-    for (std::size_t i = 0; i < diffs.size(); ++i) {
-        const DifferentialResult &d = diffs[i];
-        out << "    \"" << d.job.app << "\": {\"ok\": "
-            << (d.ok() ? "true" : "false");
+    delorean_bench::JsonLedger ledger("validate_sweep");
+    ledger.open("differential");
+    for (const DifferentialResult &d : diffs) {
+        ledger.open(d.job.app);
+        ledger.field("ok", d.ok());
         for (const DifferentialRun &r : d.runs)
-            out << ", \"" << r.label
-                << "_bits\": " << r.totalLogBits();
-        out << "}" << (i + 1 < diffs.size() ? "," : "") << "\n";
+            ledger.field(r.label + "_bits", r.totalLogBits());
+        ledger.close();
     }
-    out << "  },\n  \"fault_sweep\": {\n"
-        << "    \"total\": " << sweep.total << ",\n"
-        << "    \"rejected_at_load\": " << sweep.rejectedAtLoad << ",\n"
-        << "    \"replayed_identically\": " << sweep.replayedIdentically
-        << ",\n"
-        << "    \"divergence_detected\": " << sweep.divergenceDetected
-        << ",\n"
-        << "    \"replay_error_reported\": " << sweep.replayErrorReported
-        << ",\n"
-        << "    \"unexpected\": " << sweep.unexpected << "\n"
-        << "  },\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
-
-    const std::string path = validateReportPath();
-    std::ofstream file(path, std::ios::trunc);
-    if (file)
-        file << out.str();
-    else
-        std::fprintf(stderr, "validate_sweep: cannot write %s\n",
-                     path.c_str());
+    ledger.close();
+    ledger.open("fault_sweep");
+    ledger.field("total", sweep.total);
+    ledger.field("rejected_at_load", sweep.rejectedAtLoad);
+    ledger.field("replayed_identically", sweep.replayedIdentically);
+    ledger.field("divergence_detected", sweep.divergenceDetected);
+    ledger.field("replay_error_reported", sweep.replayErrorReported);
+    ledger.field("unexpected", sweep.unexpected);
+    ledger.close();
+    ledger.field("ok", ok);
+    ledger.writeTo(delorean_bench::JsonLedger::path(
+        "DELOREAN_VALIDATE_JSON", "BENCH_validate.json"));
 }
 
 } // namespace

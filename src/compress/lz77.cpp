@@ -5,7 +5,7 @@
 #include <cassert>
 #include <cstring>
 
-#include "common/bitstream.hpp"
+#include "common/errors.hpp"
 
 namespace delorean
 {
@@ -56,31 +56,34 @@ matchLength(const std::uint8_t *a, const std::uint8_t *b,
 }
 
 /**
- * Shared greedy LZ77 tokenizer. Calls @p emit_literal / @p emit_match
- * for every token, in order.
+ * Shared greedy LZ77 tokenizer over @p data[0, n), starting at the
+ * caller-maintained cursor @p pos. Calls @p emit_literal /
+ * @p emit_match for every token, in order.
+ *
+ * When @p final is false, tokenization stops at the last position
+ * whose greedy decision cannot depend on bytes past n: a position is
+ * taken only while pos + maxMatch + 2 <= n, which saturates the match
+ * limit at maxMatch AND guarantees the hash-insertion guard
+ * (pos + i + 3 <= n for every covered i < advance <= maxMatch)
+ * resolves the same way it would with more input appended. This is
+ * what makes streamed output byte-identical to one-shot output.
  */
 template <typename LitFn, typename MatchFn>
 void
-tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
-         LitFn emit_literal, MatchFn emit_match)
+tokenizeSpan(const std::uint8_t *data, std::size_t n, bool final,
+             const Lz77Config &cfg, std::size_t &pos,
+             std::vector<std::uint32_t> &head,
+             std::vector<std::uint32_t> &prev, LitFn emit_literal,
+             MatchFn emit_match)
 {
-    const std::size_t n = input.size();
     const std::size_t window = std::size_t{1} << cfg.windowBits;
-    // Reused across calls: campaigns compress thousands of logs, and
-    // the head table + chain links dominated the allocator profile.
-    // prev needs no clearing — a chain only ever reaches positions
-    // that were inserted this call, and insertion writes prev first.
-    static thread_local std::vector<std::uint32_t> head;
-    static thread_local std::vector<std::uint32_t> prev;
-    head.assign(kHashSize, kNoPos);
     prev.resize(n);
 
-    std::size_t pos = 0;
-    while (pos < n) {
+    while (final ? pos < n : pos + cfg.maxMatch + 2 <= n) {
         std::size_t best_len = 0;
         std::size_t best_dist = 0;
         if (pos + cfg.minMatch <= n) {
-            const std::uint32_t h = hash3(&input[pos]);
+            const std::uint32_t h = hash3(&data[pos]);
             std::uint32_t cand = head[h];
             unsigned probes = 32; // bounded chain walk
             while (cand != kNoPos && probes-- > 0) {
@@ -90,7 +93,7 @@ tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
                 const std::size_t limit =
                     std::min<std::size_t>(cfg.maxMatch, n - pos);
                 const std::size_t len =
-                    matchLength(&input[cand], &input[pos], limit);
+                    matchLength(&data[cand], &data[pos], limit);
                 if (len > best_len) {
                     best_len = len;
                     best_dist = dist;
@@ -106,16 +109,34 @@ tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
         if (best_len >= cfg.minMatch)
             emit_match(best_dist, best_len);
         else
-            emit_literal(input[pos]);
+            emit_literal(data[pos]);
 
         // Insert every covered position into the hash chains.
         for (std::size_t i = 0; i < advance && pos + i + 3 <= n; ++i) {
-            const std::uint32_t h = hash3(&input[pos + i]);
+            const std::uint32_t h = hash3(&data[pos + i]);
             prev[pos + i] = head[h];
             head[h] = static_cast<std::uint32_t>(pos + i);
         }
         pos += advance;
     }
+}
+
+/** One-shot tokenization of a whole buffer. */
+template <typename LitFn, typename MatchFn>
+void
+tokenize(const std::vector<std::uint8_t> &input, const Lz77Config &cfg,
+         LitFn emit_literal, MatchFn emit_match)
+{
+    // Reused across calls: campaigns compress thousands of logs, and
+    // the head table + chain links dominated the allocator profile.
+    // prev needs no clearing — a chain only ever reaches positions
+    // that were inserted this call, and insertion writes prev first.
+    static thread_local std::vector<std::uint32_t> head;
+    static thread_local std::vector<std::uint32_t> prev;
+    head.assign(kHashSize, kNoPos);
+    std::size_t pos = 0;
+    tokenizeSpan(input.data(), input.size(), /*final=*/true, cfg, pos,
+                 head, prev, emit_literal, emit_match);
 }
 
 } // namespace
@@ -144,6 +165,22 @@ Lz77::decompress(const std::vector<std::uint8_t> &input) const
 {
     BitReader in(input, static_cast<std::uint64_t>(input.size()) * 8);
     const std::uint64_t size = in.read(64);
+
+    // Corrupted-size guard: a match token (the densest encoding)
+    // spends 1 + windowBits + 8 bits to produce at most maxMatch
+    // bytes, so any honest stream satisfies this bound. Checking it
+    // here keeps a flipped size header from reserving gigabytes.
+    const std::uint64_t token_bits =
+        static_cast<std::uint64_t>(input.size()) * 8 - 64;
+    const std::uint64_t max_out =
+        (token_bits / (1 + config_.windowBits + 8) + 1)
+        * config_.maxMatch;
+    if (size > max_out)
+        throw RecordingFormatError(
+            "lz77: implausible decompressed size "
+            + std::to_string(size) + " for "
+            + std::to_string(input.size()) + " input bytes");
+
     std::vector<std::uint8_t> out;
     out.reserve(size);
     while (out.size() < size) {
@@ -154,7 +191,11 @@ Lz77::decompress(const std::vector<std::uint8_t> &input) const
                 static_cast<std::size_t>(in.read(config_.windowBits)) + 1;
             const std::size_t len =
                 static_cast<std::size_t>(in.read(8)) + config_.minMatch;
-            assert(dist <= out.size());
+            if (dist > out.size())
+                throw RecordingFormatError(
+                    "lz77: match distance " + std::to_string(dist)
+                    + " reaches before output start (have "
+                    + std::to_string(out.size()) + " bytes)");
             for (std::size_t i = 0; i < len; ++i)
                 out.push_back(out[out.size() - dist]);
         }
@@ -172,6 +213,86 @@ Lz77::compressedBits(const std::vector<std::uint8_t> &input) const
             bits += 1 + config_.windowBits + 8;
         });
     return bits;
+}
+
+// ---- Lz77Stream -----------------------------------------------------
+
+Lz77Stream::Lz77Stream(const Lz77Config &config)
+    : config_(config), head_(kHashSize, kNoPos)
+{
+    out_.write(0, 64); // length header, patched by finish()
+}
+
+void
+Lz77Stream::append(const std::uint8_t *data, std::size_t size)
+{
+    assert(!finished_);
+    if (size == 0)
+        return;
+    buf_.insert(buf_.end(), data, data + size);
+    total_in_ += size;
+    drain(/*final=*/false);
+    compact();
+}
+
+std::vector<std::uint8_t>
+Lz77Stream::finish()
+{
+    assert(!finished_);
+    finished_ = true;
+    drain(/*final=*/true);
+    std::vector<std::uint8_t> bytes = out_.bytes();
+    for (unsigned i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(total_in_ >> (8 * i));
+    buf_.clear();
+    buf_.shrink_to_fit();
+    return bytes;
+}
+
+void
+Lz77Stream::drain(bool final)
+{
+    tokenizeSpan(
+        buf_.data(), buf_.size(), final, config_, pos_, head_, prev_,
+        [&](std::uint8_t lit) {
+            out_.write(0, 1);
+            out_.write(lit, 8);
+        },
+        [&](std::size_t dist, std::size_t len) {
+            out_.write(1, 1);
+            out_.write(dist - 1, config_.windowBits);
+            out_.write(len - config_.minMatch, 8);
+        });
+}
+
+void
+Lz77Stream::compact()
+{
+    // Keep the window behind pos_ (plus pos_ itself onward); only
+    // bother once a meaningful chunk can be dropped, since rebasing
+    // touches the whole head table.
+    const std::size_t window = std::size_t{1} << config_.windowBits;
+    const std::size_t drop = pos_ > window ? pos_ - window : 0;
+    if (drop < std::max<std::size_t>(window, std::size_t{1} << 16))
+        return;
+
+    const auto rebase = [drop](std::uint32_t p) {
+        return (p == kNoPos || p < drop)
+                   ? kNoPos
+                   : static_cast<std::uint32_t>(p - drop);
+    };
+    // Dropped positions are unreachable anyway: the chain walk breaks
+    // at dist > window and chains link monotonically older positions,
+    // so mapping them to kNoPos never changes a tokenization decision.
+    for (auto &h : head_)
+        h = rebase(h);
+    const std::size_t remain = buf_.size() - drop;
+    for (std::size_t i = 0; i < remain; ++i)
+        prev_[i] = rebase(prev_[i + drop]);
+    prev_.resize(remain);
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(drop));
+    pos_ -= drop;
 }
 
 } // namespace delorean

@@ -9,6 +9,13 @@
  * bit-level encoding. It is used to report the *compressed* log sizes
  * in the Figure 6-8 reproductions, and is exact enough that
  * compress(decompress(x)) == x is asserted in the tests.
+ *
+ * Two front ends share the tokenizer:
+ *  - Lz77: one-shot, whole-buffer calls.
+ *  - Lz77Stream: chunked append() calls that compress incrementally
+ *    without ever concatenating the input into one buffer; the output
+ *    of finish() is byte-identical to a one-shot compress() of the
+ *    same bytes, for any partition of the input.
  */
 
 #ifndef DELOREAN_COMPRESS_LZ77_HPP_
@@ -16,6 +23,8 @@
 
 #include <cstdint>
 #include <vector>
+
+#include "common/bitstream.hpp"
 
 namespace delorean
 {
@@ -42,19 +51,80 @@ class Lz77
     std::vector<std::uint8_t>
     compress(const std::vector<std::uint8_t> &input) const;
 
-    /** Decompress a stream produced by compress(). */
+    /**
+     * Decompress a stream produced by compress(). Throws
+     * RecordingFormatError (or the BitstreamExhausted subclass) on
+     * malformed input: an implausibly large size header, a match
+     * distance reaching before the start of the output, or a stream
+     * that runs dry mid-token.
+     */
     std::vector<std::uint8_t>
     decompress(const std::vector<std::uint8_t> &input) const;
 
     /**
      * Compressed size in bits of @p input, without materializing the
-     * output (used by the log-size harnesses).
+     * output (used by the log-size harnesses). Token bits only — the
+     * 64-bit length header compress() prepends is excluded.
      */
     std::uint64_t
     compressedBits(const std::vector<std::uint8_t> &input) const;
 
   private:
     Lz77Config config_;
+};
+
+/**
+ * Incremental LZ77 compressor: feed input in arbitrary chunks with
+ * append(), then call finish() once for the encoded stream.
+ *
+ * Only a sliding window plus a not-yet-tokenizable tail of the input
+ * is buffered (tokenization of a position is deferred until enough
+ * lookahead has arrived to make the greedy choice identical to the
+ * one-shot tokenizer's), so memory use is bounded by the window size,
+ * not the total input. finish() output is byte-identical to
+ * Lz77::compress() of the concatenated input.
+ */
+class Lz77Stream
+{
+  public:
+    explicit Lz77Stream(const Lz77Config &config = {});
+
+    Lz77Stream(const Lz77Stream &) = delete;
+    Lz77Stream &operator=(const Lz77Stream &) = delete;
+
+    /** Append @p size bytes of input. */
+    void append(const std::uint8_t *data, std::size_t size);
+
+    void
+    append(const std::vector<std::uint8_t> &data)
+    {
+        append(data.data(), data.size());
+    }
+
+    /**
+     * Tokenize the remaining tail and return the complete encoded
+     * stream. May be called once; the stream is spent afterwards.
+     */
+    std::vector<std::uint8_t> finish();
+
+    /** Total bytes appended so far. */
+    std::uint64_t rawBytes() const { return total_in_; }
+
+  private:
+    /** Tokenize buffered positions; final means no more input. */
+    void drain(bool final);
+
+    /** Drop buffered bytes older than the window; rebase the chains. */
+    void compact();
+
+    Lz77Config config_;
+    BitWriter out_;
+    std::vector<std::uint8_t> buf_; ///< window + untokenized tail
+    std::vector<std::uint32_t> head_;
+    std::vector<std::uint32_t> prev_;
+    std::size_t pos_ = 0;        ///< next untokenized buf_ index
+    std::uint64_t total_in_ = 0; ///< bytes appended overall
+    bool finished_ = false;
 };
 
 } // namespace delorean

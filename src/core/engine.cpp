@@ -167,15 +167,11 @@ ChunkEngine::replay(const Recording &prior)
 
     slot_busy_until_.assign(std::max(1u, opts_.replayWindow), 0);
 
-    std::uint64_t interval_start = 0;
     if (const SystemCheckpoint *ckpt = opts_.startCheckpoint) {
         // Interval replay (Appendix B): restore the architectural
         // state at GCC = n and resume consuming the logs there.
         assert(ckpt->valid() && ckpt->contexts.size() == n_);
-        assert(!prior.stratified()
-               && "interval replay of stratified logs not supported");
         mem_ = ckpt->memory;
-        interval_start = ckpt->gcc;
         gcc_ = ckpt->gcc;
         dma_replay_idx_ = ckpt->dmaConsumed;
         rr_next_ = ckpt->rrNext;
@@ -190,6 +186,9 @@ ChunkEngine::replay(const Recording &prior)
                         + " entries)");
                 pi_cursor_->next();
             }
+        if (strata_cursor_)
+            strata_cursor_->advanceTo(ckpt->committedChunks,
+                                      ckpt->dmaConsumed);
         for (ProcId p = 0; p < n_; ++p) {
             procs_[p].ctx = ckpt->contexts[p];
             procs_[p].lastCommittedCtx = ckpt->contexts[p];
@@ -206,8 +205,14 @@ ChunkEngine::replay(const Recording &prior)
     runLoop();
 
     for (ProcId p = 0; p < n_; ++p) {
-        fp_.perProcAcc.push_back(procs_[p].ctx.acc);
-        fp_.perProcRetired.push_back(procs_[p].ctx.retired);
+        // A bounded replay stops at a commit boundary with chunks
+        // still speculatively in flight, so the architectural thread
+        // state is the last *committed* context, not the frontier.
+        const ThreadContext &ctx = opts_.stopCheckpoint
+                                       ? procs_[p].lastCommittedCtx
+                                       : procs_[p].ctx;
+        fp_.perProcAcc.push_back(ctx.acc);
+        fp_.perProcRetired.push_back(ctx.retired);
     }
     fp_.finalMemHash = mem_.hash();
 
@@ -224,9 +229,15 @@ ChunkEngine::replay(const Recording &prior)
     ReplayOutcome outcome;
     outcome.fingerprint = fp_;
     outcome.stats = stats_;
-    const ExecutionFingerprint expected =
-        interval_start == 0 ? prior.fingerprint
-                            : prior.fingerprintFrom(interval_start);
+    ExecutionFingerprint expected;
+    if (opts_.stopCheckpoint)
+        expected = prior.fingerprintBetween(opts_.startCheckpoint,
+                                            *opts_.stopCheckpoint);
+    else if (opts_.startCheckpoint)
+        expected =
+            prior.fingerprintFromCheckpoint(*opts_.startCheckpoint);
+    else
+        expected = prior.fingerprint;
     outcome.deterministicExact = fp_.matchesExact(expected);
     outcome.deterministicPerProc = fp_.matchesPerProc(expected);
     return outcome;
@@ -235,11 +246,27 @@ ChunkEngine::replay(const Recording &prior)
 void
 ChunkEngine::maybeCheckpoint()
 {
-    if (opts_.replay || !rec_
-        || next_checkpoint_ >= opts_.checkpointGccs.size()
-        || gcc_ != opts_.checkpointGccs[next_checkpoint_])
+    if (opts_.replay || !rec_)
         return;
-    ++next_checkpoint_;
+    bool due = false;
+    if (next_checkpoint_ < opts_.checkpointGccs.size()
+        && gcc_ == opts_.checkpointGccs[next_checkpoint_]) {
+        ++next_checkpoint_;
+        due = true;
+    }
+    if (opts_.checkpointPeriod != 0
+        && gcc_ % opts_.checkpointPeriod == 0)
+        due = true;
+    if (!due)
+        return;
+
+    // Align the strata log with the checkpoint: cutting the pending
+    // partial stratum here means no stratum ever straddles a
+    // checkpoint GCC, which is what lets the archive (src/store)
+    // slice the strata log at segment boundaries and StrataCursor
+    // seek to one with whole-stratum consumption.
+    if (stratifier_)
+        stratifier_->cutAtCheckpoint();
 
     SystemCheckpoint ckpt;
     ckpt.gcc = gcc_;
@@ -273,7 +300,7 @@ ChunkEngine::runLoop()
     const std::uint64_t budget =
         opts_.maxEvents ? opts_.maxEvents : kMaxEvents;
     std::uint64_t handled = 0;
-    while (!events_.empty()) {
+    while (!events_.empty() && !stopped_) {
         const Event ev = events_.top();
         events_.pop();
         // Commit-finish events only wake the arbiter, and the arbiter
@@ -300,6 +327,8 @@ ChunkEngine::runLoop()
                                      "(possible deadlock/divergence)");
         }
     }
+    if (stopped_)
+        return; // bounded replay: the interval ends mid-program
     if (!allFinished()) {
         if (opts_.replay)
             throw ReplayStalled("event queue drained with threads "
@@ -376,6 +405,13 @@ ChunkEngine::tryStartChunk(ProcId p, Cycle now)
 {
     ProcState &ps = procs_[p];
     if (ps.finished || ps.restart.has_value() || ps.blockedOnOverflow)
+        return;
+    // Bounded replay: never build a chunk that commits at or after
+    // the stop checkpoint — its CS/interrupt/IO records may lie in
+    // segments the archive reader deliberately did not decode.
+    if (opts_.replay && opts_.stopCheckpoint
+        && ps.pendingRemainder == 0
+        && ps.nextSeq >= opts_.stopCheckpoint->committedChunks[p])
         return;
     if (!ps.inflight.empty()
         && ps.inflight.back()->state == ChunkState::kExecuting)
@@ -1071,7 +1107,7 @@ ChunkEngine::arbiterProcess(Cycle now)
         return;
     }
 
-    while (freeSlots(now) > 0) {
+    while (freeSlots(now) > 0 && !stopped_) {
         if (dmaIsNext(now)) {
             grantDma(now);
             continue;
@@ -1228,6 +1264,9 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
         ++stats_.committedChunks;
         ++gcc_;
         maybeCheckpoint();
+        if (opts_.replay && opts_.stopCheckpoint
+            && gcc_ == opts_.stopCheckpoint->gcc)
+            stopped_ = true;
     } else {
         ps.partialSize += c.size;
         ps.mustContinue = true;
@@ -1321,6 +1360,9 @@ ChunkEngine::grantDma(Cycle now)
     ++dma_granted_;
     ++gcc_;
     maybeCheckpoint();
+    if (opts_.replay && opts_.stopCheckpoint
+        && gcc_ == opts_.stopCheckpoint->gcc)
+        stopped_ = true;
 }
 
 // ---------------------------------------------------------------------------

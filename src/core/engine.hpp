@@ -87,10 +87,22 @@ struct EngineOptions
     /// Record only: take a SystemCheckpoint when the global commit
     /// count reaches each of these values (ascending).
     std::vector<std::uint64_t> checkpointGccs;
+    /// Record only: additionally take a checkpoint every this many
+    /// global commits (0 = disabled). Combines with checkpointGccs;
+    /// a GCC named by both yields one checkpoint. This is the knob
+    /// the archive writer (src/store) uses to define segment cuts.
+    std::uint64_t checkpointPeriod = 0;
     /// Replay only: start from this checkpoint instead of the initial
-    /// state (interval replay, Appendix B). Not supported together
-    /// with stratified recordings.
+    /// state (interval replay, Appendix B). Works for all modes,
+    /// including stratified recordings (checkpoints land on stratum
+    /// boundaries by construction).
     const SystemCheckpoint *startCheckpoint = nullptr;
+    /// Replay only: stop once the global commit count reaches this
+    /// checkpoint's GCC instead of running to program end — the upper
+    /// bound of interval replay I(n, m). The outcome fingerprint then
+    /// covers exactly the commits in [start, stop) and the
+    /// architectural state at the stop checkpoint.
+    const SystemCheckpoint *stopCheckpoint = nullptr;
 };
 
 /** Outcome of a replay run. */
@@ -329,6 +341,9 @@ class ChunkEngine
     // arbiter
     std::vector<Cycle> slot_busy_until_;
     std::uint64_t gcc_ = 0; ///< global (logical) chunk commit count
+    /// Replay: set when gcc_ reaches opts_.stopCheckpoint->gcc; the
+    /// event loop exits instead of draining to program end.
+    bool stopped_ = false;
     /// Replay: cycle at which the arbiter last found a completed chunk
     /// it could not grant because the log head names another processor
     /// (kNoCycle = not stalled). Accumulated into

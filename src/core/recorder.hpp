@@ -40,17 +40,21 @@ class Recorder
      * @param logging false runs the plain BulkSC machine (no logs)
      * @param checkpoint_gccs take a SystemCheckpoint at each of these
      *        global commit counts (ascending), for interval replay
+     * @param checkpoint_period additionally checkpoint every this many
+     *        global commits (0 = off) — the archive segment period
      */
     Recording
     record(const Workload &workload, std::uint64_t env_seed,
            bool logging = true,
-           std::vector<std::uint64_t> checkpoint_gccs = {}) const
+           std::vector<std::uint64_t> checkpoint_gccs = {},
+           std::uint64_t checkpoint_period = 0) const
     {
         EngineOptions opts;
         opts.replay = false;
         opts.logging = logging;
         opts.envSeed = env_seed;
         opts.checkpointGccs = std::move(checkpoint_gccs);
+        opts.checkpointPeriod = checkpoint_period;
         ChunkEngine engine(workload, machine_, mode_, opts);
         Recording rec = engine.record();
         rec.iterationsPercent = workload.iterationsPercent();
@@ -108,15 +112,17 @@ class Replayer
     /**
      * Interval replay (Appendix B): resume from checkpoint
      * @p checkpoint_index of the recording and replay the interval
-     * from that GCC to the end of the recording. Determinism is
-     * checked against the corresponding suffix of the recorded
+     * from that GCC to the end of the recording — or, when @p stop is
+     * given, only up to that later checkpoint's GCC. Determinism is
+     * checked against the corresponding slice of the recorded
      * fingerprint.
      */
     ReplayOutcome
     replayInterval(const Recording &recording,
                    std::size_t checkpoint_index,
                    const Workload &workload, std::uint64_t env_seed,
-                   const ReplayPerturbation &perturb = {}) const
+                   const ReplayPerturbation &perturb = {},
+                   const SystemCheckpoint *stop = nullptr) const
     {
         EngineOptions opts;
         opts.replay = true;
@@ -124,6 +130,7 @@ class Replayer
         opts.perturb = perturb;
         opts.startCheckpoint =
             &recording.checkpoints.at(checkpoint_index);
+        opts.stopCheckpoint = stop;
         ChunkEngine engine(workload, recording.machine, recording.mode,
                            opts);
         return engine.replay(recording);

@@ -229,6 +229,59 @@ struct Recording
         return fp;
     }
 
+    /**
+     * Expected fingerprint of I(ckpt.gcc, end), derived from the
+     * checkpoint's own per-processor commit counts instead of a PI-log
+     * scan — the count of chunk commits before the boundary is
+     * sum(committedChunks), for every mode (including stratified
+     * recordings, whose PI log has no per-commit entries).
+     */
+    ExecutionFingerprint
+    fingerprintFromCheckpoint(const SystemCheckpoint &ckpt) const
+    {
+        std::uint64_t chunk_commits = 0;
+        for (const ChunkSeq c : ckpt.committedChunks)
+            chunk_commits += c;
+        ExecutionFingerprint fp = fingerprint;
+        fp.commits.erase(fp.commits.begin(),
+                         fp.commits.begin()
+                             + static_cast<long>(std::min<std::size_t>(
+                                 chunk_commits, fp.commits.size())));
+        return fp;
+    }
+
+    /**
+     * Expected fingerprint of the bounded interval I(from, to): the
+     * chunk commits between the two checkpoints, with the final state
+     * (per-thread acc/retired and memory hash) taken from @p to.
+     * @p from may be null for an interval starting at GCC 0.
+     */
+    ExecutionFingerprint
+    fingerprintBetween(const SystemCheckpoint *from,
+                       const SystemCheckpoint &to) const
+    {
+        std::uint64_t lo = 0;
+        if (from)
+            for (const ChunkSeq c : from->committedChunks)
+                lo += c;
+        std::uint64_t hi = 0;
+        for (const ChunkSeq c : to.committedChunks)
+            hi += c;
+        lo = std::min<std::uint64_t>(lo, fingerprint.commits.size());
+        hi = std::min<std::uint64_t>(hi, fingerprint.commits.size());
+        ExecutionFingerprint fp;
+        fp.commits.assign(fingerprint.commits.begin()
+                              + static_cast<long>(lo),
+                          fingerprint.commits.begin()
+                              + static_cast<long>(std::max(lo, hi)));
+        for (const ThreadContext &ctx : to.contexts) {
+            fp.perProcAcc.push_back(ctx.acc);
+            fp.perProcRetired.push_back(ctx.retired);
+        }
+        fp.finalMemHash = to.memory.hash();
+        return fp;
+    }
+
     /** DMA commits among the first @p gcc global commits. */
     std::size_t
     dmaCommitsBefore(std::uint64_t gcc) const

@@ -1,155 +1,35 @@
 #include "core/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
-#include <type_traits>
 
 #include "common/errors.hpp"
+#include "core/serialize_detail.hpp"
 #include "trace/app_profile.hpp"
 
 namespace delorean
 {
+
+using serialize_detail::getCheckpoint;
+using serialize_detail::getContext;
+using serialize_detail::getMachine;
+using serialize_detail::getMode;
+using serialize_detail::getString;
+using serialize_detail::getU64;
+using serialize_detail::putCheckpoint;
+using serialize_detail::putContext;
+using serialize_detail::putMachine;
+using serialize_detail::putMode;
+using serialize_detail::putString;
+using serialize_detail::putU64;
 
 namespace
 {
 
 constexpr std::uint64_t kMagic = 0x44654C6F5265634Full; // "DeLoRecO"
 constexpr std::uint32_t kVersion = 1;
-
-// ----- primitive writers/readers -------------------------------------------
-
-void
-putU64(std::ostream &out, std::uint64_t v)
-{
-    std::uint8_t bytes[8];
-    for (int i = 0; i < 8; ++i)
-        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
-    out.write(reinterpret_cast<const char *>(bytes), 8);
-}
-
-std::uint64_t
-getU64(std::istream &in)
-{
-    std::uint8_t bytes[8];
-    in.read(reinterpret_cast<char *>(bytes), 8);
-    if (!in)
-        throw RecordingFormatError("file truncated");
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-    return v;
-}
-
-void
-putString(std::ostream &out, const std::string &s)
-{
-    putU64(out, s.size());
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string
-getString(std::istream &in)
-{
-    const std::uint64_t n = getU64(in);
-    if (n > (1u << 20))
-        throw RecordingFormatError("string too long");
-    std::string s(n, '\0');
-    in.read(s.data(), static_cast<std::streamsize>(n));
-    if (!in)
-        throw RecordingFormatError("file truncated");
-    return s;
-}
-
-static_assert(std::is_trivially_copyable_v<ThreadContext>,
-              "ThreadContext must stay trivially copyable: checkpoints "
-              "serialize it by value");
-
-void
-putContext(std::ostream &out, const ThreadContext &ctx)
-{
-    char buf[sizeof(ThreadContext)];
-    std::memcpy(buf, &ctx, sizeof(ThreadContext));
-    out.write(buf, sizeof(ThreadContext));
-}
-
-ThreadContext
-getContext(std::istream &in)
-{
-    char buf[sizeof(ThreadContext)];
-    in.read(buf, sizeof(ThreadContext));
-    if (!in)
-        throw RecordingFormatError("file truncated");
-    ThreadContext ctx;
-    std::memcpy(&ctx, buf, sizeof(ThreadContext));
-    return ctx;
-}
-
-// ----- sections -------------------------------------------------------------
-
-void
-putMode(std::ostream &out, const ModeConfig &mode)
-{
-    putU64(out, static_cast<std::uint64_t>(mode.mode));
-    putU64(out, mode.chunkSize);
-    putU64(out, mode.varSizeTruncatePercent);
-    putU64(out, mode.csDistanceBits);
-    putU64(out, mode.csSizeBits);
-    putU64(out, mode.piProcIdBits);
-    putU64(out, mode.stratifyChunksPerProc);
-}
-
-ModeConfig
-getMode(std::istream &in)
-{
-    ModeConfig mode;
-    mode.mode = static_cast<ExecMode>(getU64(in));
-    mode.chunkSize = getU64(in);
-    mode.varSizeTruncatePercent =
-        static_cast<unsigned>(getU64(in));
-    mode.csDistanceBits = static_cast<unsigned>(getU64(in));
-    mode.csSizeBits = static_cast<unsigned>(getU64(in));
-    mode.piProcIdBits = static_cast<unsigned>(getU64(in));
-    mode.stratifyChunksPerProc = static_cast<unsigned>(getU64(in));
-    return mode;
-}
-
-void
-putMachine(std::ostream &out, const MachineConfig &m)
-{
-    putU64(out, m.numProcs);
-    putU64(out, m.mem.l1SizeBytes);
-    putU64(out, m.mem.l1Ways);
-    putU64(out, m.mem.l2SizeBytes);
-    putU64(out, m.mem.l2Ways);
-    putU64(out, m.bulk.signatureBits);
-    putU64(out, m.bulk.commitArbitration);
-    putU64(out, m.bulk.maxConcurrentCommits);
-    putU64(out, m.bulk.simultaneousChunks);
-    putU64(out, m.bulk.collisionBackoffThreshold);
-    putU64(out, m.bulk.exactDisambiguation ? 1 : 0);
-}
-
-MachineConfig
-getMachine(std::istream &in)
-{
-    MachineConfig m;
-    m.numProcs = static_cast<unsigned>(getU64(in));
-    m.mem.l1SizeBytes = static_cast<unsigned>(getU64(in));
-    m.mem.l1Ways = static_cast<unsigned>(getU64(in));
-    m.mem.l2SizeBytes = static_cast<unsigned>(getU64(in));
-    m.mem.l2Ways = static_cast<unsigned>(getU64(in));
-    m.bulk.signatureBits = static_cast<unsigned>(getU64(in));
-    m.bulk.commitArbitration = getU64(in);
-    m.bulk.maxConcurrentCommits = static_cast<unsigned>(getU64(in));
-    m.bulk.simultaneousChunks = static_cast<unsigned>(getU64(in));
-    m.bulk.collisionBackoffThreshold =
-        static_cast<unsigned>(getU64(in));
-    m.bulk.exactDisambiguation = getU64(in) != 0;
-    return m;
-}
 
 /** Throw RecordingFormatError unless cond; @p what names the field. */
 void
@@ -206,6 +86,13 @@ validateConfigs(const MachineConfig &m, const ModeConfig &mode)
 }
 
 } // namespace
+
+void
+validateRecordingConfigs(const MachineConfig &machine,
+                         const ModeConfig &mode)
+{
+    validateConfigs(machine, mode);
+}
 
 void
 validateRecording(const Recording &rec)
@@ -388,21 +275,8 @@ saveRecording(const Recording &rec, std::ostream &out)
 
     // Checkpoints.
     putU64(out, rec.checkpoints.size());
-    for (const SystemCheckpoint &ckpt : rec.checkpoints) {
-        putU64(out, ckpt.gcc);
-        putU64(out, ckpt.dmaConsumed);
-        putU64(out, ckpt.rrNext);
-        putU64(out, ckpt.contexts.size());
-        for (std::size_t p = 0; p < ckpt.contexts.size(); ++p) {
-            putContext(out, ckpt.contexts[p]);
-            putU64(out, ckpt.committedChunks[p]);
-        }
-        putU64(out, ckpt.memory.population());
-        ckpt.memory.forEachWord([&out](Addr addr, std::uint64_t value) {
-            putU64(out, addr);
-            putU64(out, value);
-        });
-    }
+    for (const SystemCheckpoint &ckpt : rec.checkpoints)
+        putCheckpoint(out, ckpt);
 
     if (!out)
         throw std::runtime_error("failed to write recording");
@@ -523,24 +397,8 @@ loadRecording(std::istream &in)
     rec.stats.hardTruncations = getU64(in);
 
     const std::uint64_t ckpts = getU64(in);
-    for (std::uint64_t i = 0; i < ckpts; ++i) {
-        SystemCheckpoint ckpt;
-        ckpt.gcc = getU64(in);
-        ckpt.dmaConsumed = static_cast<std::size_t>(getU64(in));
-        ckpt.rrNext = static_cast<ProcId>(getU64(in));
-        const std::uint64_t n = getU64(in);
-        for (std::uint64_t p = 0; p < n; ++p) {
-            ckpt.contexts.push_back(getContext(in));
-            ckpt.committedChunks.push_back(getU64(in));
-        }
-        const std::uint64_t words = getU64(in);
-        for (std::uint64_t k = 0; k < words; ++k) {
-            const Addr addr = getU64(in);
-            const std::uint64_t value = getU64(in);
-            ckpt.memory.store(addr, value);
-        }
-        rec.checkpoints.push_back(std::move(ckpt));
-    }
+    for (std::uint64_t i = 0; i < ckpts; ++i)
+        rec.checkpoints.push_back(getCheckpoint(in));
     validateRecording(rec);
     return rec;
 }

@@ -51,6 +51,15 @@ Recording loadRecordingFile(const std::string &path);
  */
 void validateRecording(const Recording &rec);
 
+/**
+ * Field-range checks for just the machine/mode headers — the subset
+ * of validateRecording() that must run before a loader allocates
+ * anything sized by header fields. Exposed for the archive reader
+ * (src/store), whose footer carries the same headers.
+ */
+void validateRecordingConfigs(const MachineConfig &machine,
+                              const ModeConfig &mode);
+
 } // namespace delorean
 
 #endif // DELOREAN_CORE_SERIALIZE_HPP_

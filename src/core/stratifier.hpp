@@ -20,6 +20,7 @@
 #ifndef DELOREAN_CORE_STRATIFIER_HPP_
 #define DELOREAN_CORE_STRATIFIER_HPP_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -66,6 +67,14 @@ class Stratifier
 
     /** Feed a DMA commit: cuts the stratum and emits a DMA marker. */
     void onDmaCommit();
+
+    /**
+     * Force a stratum boundary at a checkpoint: the pending partial
+     * stratum (if any) is cut, so every checkpoint GCC coincides with
+     * a stratum boundary. The archive's segment slicing (src/store)
+     * relies on strata never straddling a checkpoint.
+     */
+    void cutAtCheckpoint() { cutStratum(); }
 
     /** Flush the trailing partial stratum (call once at the end). */
     void finish();
@@ -146,6 +155,70 @@ class StrataCursor
     void
     consumeDma()
     {
+        current_dma_ = false;
+        loadNext();
+    }
+
+    /**
+     * Skip forward to a checkpoint boundary: consume whole strata
+     * until exactly @p committed[p] chunk commits per processor and
+     * @p dma_consumed DMA slots have been accounted for. Checkpoints
+     * are taken at stratum boundaries (Stratifier::cutAtCheckpoint),
+     * so greedy whole-stratum consumption lands exactly on the
+     * boundary; a stratum that would straddle it means the recording
+     * and checkpoint disagree, which is a format error.
+     */
+    void
+    advanceTo(const std::vector<ChunkSeq> &committed,
+              std::size_t dma_consumed)
+    {
+        // Rewind: the constructor pre-loads stratum 0 into the
+        // remaining-budget vector, but the accounting below must see
+        // every stratum from the start of the log.
+        pos_ = 0;
+        std::fill(remaining_.begin(), remaining_.end(), 0u);
+        std::vector<std::uint64_t> need(committed.begin(),
+                                        committed.end());
+        std::size_t dma_need = dma_consumed;
+        const auto satisfied = [&] {
+            if (dma_need)
+                return false;
+            for (const std::uint64_t v : need)
+                if (v)
+                    return false;
+            return true;
+        };
+        while (!satisfied()) {
+            if (pos_ >= strata_->size())
+                throw RecordingFormatError(
+                    "checkpoint lies beyond the strata log ("
+                    + std::to_string(strata_->size()) + " strata)");
+            const Stratum &s = (*strata_)[pos_++];
+            if (s.isDma) {
+                if (dma_need == 0)
+                    throw RecordingFormatError(
+                        "DMA stratum " + std::to_string(pos_ - 1)
+                        + " precedes the checkpoint but its commit "
+                          "does not");
+                --dma_need;
+                continue;
+            }
+            if (s.counts.size() != need.size())
+                throw RecordingFormatError(
+                    "stratum " + std::to_string(pos_ - 1) + " has "
+                    + std::to_string(s.counts.size())
+                    + " counters for " + std::to_string(need.size())
+                    + " processors");
+            for (std::size_t p = 0; p < need.size(); ++p) {
+                if (s.counts[p] > need[p])
+                    throw RecordingFormatError(
+                        "stratum " + std::to_string(pos_ - 1)
+                        + " straddles the checkpoint boundary (proc "
+                        + std::to_string(p) + ")");
+                need[p] -= s.counts[p];
+            }
+        }
+        exhausted_ = false;
         current_dma_ = false;
         loadNext();
     }

@@ -1,0 +1,980 @@
+#include "store/archive.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "compress/lz77.hpp"
+#include "core/serialize.hpp"
+#include "core/serialize_detail.hpp"
+#include "core/stratifier.hpp"
+#include "store/crc32.hpp"
+
+namespace delorean
+{
+
+using serialize_detail::getCheckpoint;
+using serialize_detail::getMachine;
+using serialize_detail::getMode;
+using serialize_detail::getString;
+using serialize_detail::getU64;
+using serialize_detail::putCheckpoint;
+using serialize_detail::putMachine;
+using serialize_detail::putMode;
+using serialize_detail::putString;
+
+namespace
+{
+
+constexpr std::uint64_t kArchiveMagic = 0x766372416F4C6544ull;  // "DeLoArcv"
+constexpr std::uint64_t kSegmentMagic = 0x2E6765536F4C6544ull;  // "DeLoSeg."
+constexpr std::uint64_t kArchiveEndMagic = 0x5A6372416F4C6544ull; // "DeLoArcZ"
+constexpr std::uint64_t kArchiveVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kSegmentHeaderBytes = 40;
+constexpr std::size_t kTrailerBytes = 40;
+constexpr std::uint64_t kMaxSegments = 1u << 20;
+
+/**
+ * Per-segment boundary state: where every log cursor stands at the
+ * end of a segment's GCC interval. Consecutive boundaries define the
+ * half-open slice ranges a segment's payload holds.
+ */
+struct Boundary
+{
+    std::uint64_t gcc = 0;        ///< PI entries consumed (flat modes)
+    std::uint64_t chunkCommits = 0; ///< fingerprint commits consumed
+    std::size_t strataIdx = 0;
+    std::size_t dmaIdx = 0;
+    std::vector<ChunkSeq> committed;  ///< per-proc chunk seq frontier
+    std::vector<std::uint64_t> ioIdx; ///< per-proc I/O value frontier
+};
+
+Boundary
+boundaryAtCheckpoint(const Recording &rec, const SystemCheckpoint &ckpt,
+                     std::size_t segment)
+{
+    Boundary b;
+    b.gcc = ckpt.gcc;
+    b.dmaIdx = ckpt.dmaConsumed;
+    b.committed = ckpt.committedChunks;
+    for (const ThreadContext &ctx : ckpt.contexts)
+        b.ioIdx.push_back(ctx.ioLoadCount);
+    for (const ChunkSeq c : ckpt.committedChunks)
+        b.chunkCommits += c;
+    if (rec.stratified()) {
+        // Find the stratum boundary matching this checkpoint. The
+        // stratifier force-cuts at every checkpoint
+        // (Stratifier::cutAtCheckpoint), so an exact match exists for
+        // any recorder-produced recording.
+        std::uint64_t chunks = 0;
+        std::size_t dmas = 0;
+        std::size_t idx = 0;
+        while (chunks < b.chunkCommits || dmas < b.dmaIdx) {
+            if (idx >= rec.strata.size())
+                throw RecordingFormatError(
+                    "checkpoint at GCC " + std::to_string(ckpt.gcc)
+                    + " (segment " + std::to_string(segment)
+                    + ") does not align with a stratum boundary");
+            const Stratum &s = rec.strata[idx++];
+            if (s.isDma) {
+                ++dmas;
+            } else {
+                for (const auto c : s.counts)
+                    chunks += c;
+            }
+        }
+        if (chunks != b.chunkCommits || dmas != b.dmaIdx)
+            throw RecordingFormatError(
+                "checkpoint at GCC " + std::to_string(ckpt.gcc)
+                + " (segment " + std::to_string(segment)
+                + ") splits a stratum");
+        b.strataIdx = idx;
+    }
+    return b;
+}
+
+Boundary
+boundaryAtEnd(const Recording &rec)
+{
+    Boundary b;
+    b.chunkCommits = rec.fingerprint.commits.size();
+    b.gcc = b.chunkCommits + rec.dma.count();
+    b.strataIdx = rec.strata.size();
+    b.dmaIdx = rec.dma.count();
+    const unsigned n = rec.machine.numProcs;
+    b.committed.assign(n, 0);
+    for (const CommitRecord &c : rec.fingerprint.commits)
+        if (c.proc < n)
+            b.committed[c.proc] =
+                std::max<ChunkSeq>(b.committed[c.proc], c.seq + 1);
+    for (ProcId p = 0; p < n; ++p)
+        b.ioIdx.push_back(rec.io.countFor(p));
+    return b;
+}
+
+/** Serialize the log slices between boundaries @p lo and @p hi. */
+std::string
+buildSegmentPayload(const Recording &rec, const Boundary &lo,
+                    const Boundary &hi)
+{
+    std::ostringstream out(std::ios::binary);
+    const auto put = [&out](std::uint64_t v) {
+        serialize_detail::putU64(out, v);
+    };
+    const unsigned n = rec.machine.numProcs;
+
+    // PI slice (flat modes; empty for stratified and PicoLog).
+    std::uint64_t pi_lo = 0;
+    std::uint64_t pi_hi = 0;
+    if (!rec.stratified() && rec.mode.mode != ExecMode::kPicoLog) {
+        pi_lo = std::min<std::uint64_t>(lo.gcc, rec.pi.entryCount());
+        pi_hi = std::min<std::uint64_t>(hi.gcc, rec.pi.entryCount());
+    }
+    put(pi_hi - pi_lo);
+    for (std::uint64_t i = pi_lo; i < pi_hi; ++i)
+        put(rec.pi.entryAt(i));
+
+    // Strata slice.
+    put(hi.strataIdx - lo.strataIdx);
+    for (std::size_t i = lo.strataIdx; i < hi.strataIdx; ++i) {
+        const Stratum &s = rec.strata[i];
+        put(s.isDma ? 1 : 0);
+        put(s.counts.size());
+        for (const auto c : s.counts)
+            put(c);
+    }
+
+    // CS slices: per-proc entries with seq in [lo, hi).
+    for (ProcId p = 0; p < n; ++p) {
+        std::vector<const CsEntry *> slice;
+        for (const CsEntry &e : rec.cs[p].entries())
+            if (e.seq >= lo.committed[p] && e.seq < hi.committed[p])
+                slice.push_back(&e);
+        put(slice.size());
+        for (const CsEntry *e : slice) {
+            put(e->seq);
+            put(e->size);
+            put(e->maxSize ? 1 : 0);
+        }
+    }
+
+    // Interrupt slices (same per-proc chunk-seq windows).
+    for (ProcId p = 0; p < n; ++p) {
+        std::vector<const InterruptRecord *> slice;
+        for (const InterruptRecord &e : rec.interrupts.entries(p))
+            if (e.chunkSeq >= lo.committed[p]
+                && e.chunkSeq < hi.committed[p])
+                slice.push_back(&e);
+        put(slice.size());
+        for (const InterruptRecord *e : slice) {
+            put(e->chunkSeq);
+            put(e->type);
+            put(e->data);
+        }
+    }
+
+    // I/O slices: dense per-proc index windows.
+    for (ProcId p = 0; p < n; ++p) {
+        put(hi.ioIdx[p] - lo.ioIdx[p]);
+        for (std::uint64_t i = lo.ioIdx[p]; i < hi.ioIdx[p]; ++i)
+            put(rec.io.valueAt(p, i));
+    }
+
+    // DMA slice.
+    put(hi.dmaIdx - lo.dmaIdx);
+    for (std::size_t i = lo.dmaIdx; i < hi.dmaIdx; ++i) {
+        const DmaTransfer &t = rec.dma.transferAt(i);
+        put(rec.dma.slotAt(i));
+        put(t.wordAddrs.size());
+        for (std::size_t k = 0; k < t.wordAddrs.size(); ++k) {
+            put(t.wordAddrs[k]);
+            put(t.values[k]);
+        }
+    }
+
+    // Fingerprint commit slice.
+    put(hi.chunkCommits - lo.chunkCommits);
+    for (std::uint64_t i = lo.chunkCommits; i < hi.chunkCommits; ++i) {
+        const CommitRecord &c = rec.fingerprint.commits[i];
+        put(c.proc);
+        put(c.seq);
+        put(c.size);
+        put(c.accAfter);
+    }
+    return std::move(out).str();
+}
+
+/** Decoded counterpart of buildSegmentPayload. */
+struct SegmentSlice
+{
+    std::vector<ProcId> pi;
+    std::vector<Stratum> strata;
+    std::vector<std::vector<CsEntry>> cs;
+    std::vector<std::vector<InterruptRecord>> interrupts;
+    std::vector<std::vector<std::uint64_t>> io;
+    std::vector<std::pair<DmaTransfer, std::uint64_t>> dma;
+    std::vector<CommitRecord> commits;
+};
+
+SegmentSlice
+parseSegmentPayload(const std::vector<std::uint8_t> &raw, unsigned n)
+{
+    std::istringstream in(
+        std::string(reinterpret_cast<const char *>(raw.data()),
+                    raw.size()),
+        std::ios::binary);
+    SegmentSlice s;
+    const std::uint64_t pi_count = getU64(in);
+    for (std::uint64_t i = 0; i < pi_count; ++i)
+        s.pi.push_back(static_cast<ProcId>(getU64(in)));
+    const std::uint64_t strata_count = getU64(in);
+    for (std::uint64_t i = 0; i < strata_count; ++i) {
+        Stratum st;
+        st.isDma = getU64(in) != 0;
+        const std::uint64_t c = getU64(in);
+        if (c > 64)
+            throw RecordingFormatError("stratum counter count "
+                                       + std::to_string(c)
+                                       + " outside [0, 64]");
+        for (std::uint64_t k = 0; k < c; ++k)
+            st.counts.push_back(static_cast<std::uint8_t>(getU64(in)));
+        s.strata.push_back(std::move(st));
+    }
+    s.cs.resize(n);
+    for (unsigned p = 0; p < n; ++p) {
+        const std::uint64_t c = getU64(in);
+        for (std::uint64_t k = 0; k < c; ++k) {
+            CsEntry e;
+            e.seq = getU64(in);
+            e.size = getU64(in);
+            e.maxSize = getU64(in) != 0;
+            s.cs[p].push_back(e);
+        }
+    }
+    s.interrupts.resize(n);
+    for (unsigned p = 0; p < n; ++p) {
+        const std::uint64_t c = getU64(in);
+        for (std::uint64_t k = 0; k < c; ++k) {
+            InterruptRecord e;
+            e.chunkSeq = getU64(in);
+            e.type = static_cast<std::uint8_t>(getU64(in));
+            e.data = getU64(in);
+            s.interrupts[p].push_back(e);
+        }
+    }
+    s.io.resize(n);
+    for (unsigned p = 0; p < n; ++p) {
+        const std::uint64_t c = getU64(in);
+        for (std::uint64_t k = 0; k < c; ++k)
+            s.io[p].push_back(getU64(in));
+    }
+    const std::uint64_t dma_count = getU64(in);
+    for (std::uint64_t i = 0; i < dma_count; ++i) {
+        const std::uint64_t slot = getU64(in);
+        const std::uint64_t words = getU64(in);
+        DmaTransfer t;
+        for (std::uint64_t k = 0; k < words; ++k) {
+            t.wordAddrs.push_back(getU64(in));
+            t.values.push_back(getU64(in));
+        }
+        s.dma.emplace_back(std::move(t), slot);
+    }
+    const std::uint64_t commits = getU64(in);
+    for (std::uint64_t i = 0; i < commits; ++i) {
+        CommitRecord c;
+        c.proc = static_cast<ProcId>(getU64(in));
+        c.seq = getU64(in);
+        c.size = getU64(in);
+        c.accAfter = getU64(in);
+        s.commits.push_back(c);
+    }
+    return s;
+}
+
+std::vector<std::uint8_t>
+compressPayload(const std::string &raw)
+{
+    Lz77Stream stream;
+    stream.append(reinterpret_cast<const std::uint8_t *>(raw.data()),
+                  raw.size());
+    return stream.finish();
+}
+
+std::uint64_t
+readU64At(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+// ----- errors ---------------------------------------------------------------
+
+const char *
+archiveSectionName(ArchiveSection section)
+{
+    switch (section) {
+    case ArchiveSection::kFileHeader:
+        return "file header";
+    case ArchiveSection::kSegment:
+        return "segment";
+    case ArchiveSection::kFooter:
+        return "footer";
+    case ArchiveSection::kTrailer:
+        return "trailer";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::string
+archiveErrorMessage(ArchiveSection section, std::size_t segment,
+                    const std::string &what)
+{
+    std::string msg = "archive ";
+    msg += archiveSectionName(section);
+    if (section == ArchiveSection::kSegment
+        && segment != ArchiveError::kNoSegment)
+        msg += " " + std::to_string(segment);
+    msg += ": " + what;
+    return msg;
+}
+
+} // namespace
+
+ArchiveError::ArchiveError(ArchiveSection section, std::size_t segment,
+                           const std::string &what)
+    : RecordingFormatError(archiveErrorMessage(section, segment, what)),
+      section_(section), segment_(segment)
+{
+}
+
+// ----- writer ---------------------------------------------------------------
+
+void
+ArchiveWriter::putBytes(const std::uint8_t *data, std::size_t size)
+{
+    out_->write(reinterpret_cast<const char *>(data),
+                static_cast<std::streamsize>(size));
+    offset_ += size;
+}
+
+void
+ArchiveWriter::putU64(std::uint64_t v)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    putBytes(bytes, 8);
+}
+
+void
+ArchiveWriter::write(const Recording &rec)
+{
+    if (!segments_.empty())
+        throw std::logic_error("ArchiveWriter::write called twice");
+    for (std::size_t i = 1; i < rec.checkpoints.size(); ++i)
+        if (rec.checkpoints[i].gcc <= rec.checkpoints[i - 1].gcc)
+            throw RecordingFormatError(
+                "checkpoints are not in ascending GCC order");
+
+    putU64(kArchiveMagic);
+    putU64(kArchiveVersion);
+
+    const unsigned n = rec.machine.numProcs;
+
+    // Exact per-proc log write-pointer positions at each boundary:
+    // scratch logs replicate the recorder's variable-width packing.
+    PiLog scratch_pi(n);
+    std::vector<CsLog> scratch_cs(n, CsLog(rec.mode));
+    const unsigned strata_counter_bits =
+        rec.stratified()
+            ? Stratifier(n, rec.mode.stratifyChunksPerProc)
+                  .counterBits()
+            : 0;
+
+    Boundary prev; // zero state
+    prev.committed.assign(n, 0);
+    prev.ioIdx.assign(n, 0);
+    const Boundary end = boundaryAtEnd(rec);
+
+    const std::size_t seg_count = rec.checkpoints.size() + 1;
+    for (std::size_t i = 0; i < seg_count; ++i) {
+        const bool tail = i == rec.checkpoints.size();
+        const Boundary cur =
+            tail ? end
+                 : boundaryAtCheckpoint(rec, rec.checkpoints[i], i);
+
+        const std::string raw = buildSegmentPayload(rec, prev, cur);
+        const std::vector<std::uint8_t> comp = compressPayload(raw);
+
+        ArchiveSegmentInfo info;
+        info.endGcc = cur.gcc;
+        info.fileOffset = offset_;
+        info.rawBytes = raw.size();
+        info.compBytes = comp.size();
+        info.crc32 = crc32(comp.data(), comp.size());
+        if (!rec.stratified()
+            && rec.mode.mode != ExecMode::kPicoLog) {
+            for (std::uint64_t g = prev.gcc;
+                 g < std::min<std::uint64_t>(cur.gcc,
+                                             rec.pi.entryCount());
+                 ++g)
+                scratch_pi.append(rec.pi.entryAt(g));
+        }
+        info.piBitsEnd = scratch_pi.sizeBits();
+        info.strataBitsEnd = static_cast<std::uint64_t>(cur.strataIdx)
+                             * n * strata_counter_bits;
+        for (ProcId p = 0; p < n; ++p) {
+            for (const CsEntry &e : rec.cs[p].entries())
+                if (e.seq >= prev.committed[p]
+                    && e.seq < cur.committed[p]) {
+                    if (rec.mode.mode == ExecMode::kOrderAndSize)
+                        scratch_cs[p].appendCommittedSize(e.seq, e.size,
+                                                          e.maxSize);
+                    else
+                        scratch_cs[p].appendTruncation(e.seq, e.size);
+                }
+            info.csBitsEnd.push_back(scratch_cs[p].sizeBits());
+        }
+        if (!tail) {
+            info.hasCheckpoint = true;
+            info.checkpoint = rec.checkpoints[i];
+        }
+
+        putU64(kSegmentMagic);
+        putU64(i);
+        putU64(info.rawBytes);
+        putU64(info.compBytes);
+        putU64(info.crc32);
+        putBytes(comp.data(), comp.size());
+        segments_.push_back(std::move(info));
+        prev = cur;
+    }
+
+    // Footer: metadata + segment index, compressed like the segments.
+    std::ostringstream footer(std::ios::binary);
+    putMachine(footer, rec.machine);
+    putMode(footer, rec.mode);
+    putString(footer, rec.appName);
+    serialize_detail::putU64(footer, rec.workloadSeed);
+    serialize_detail::putU64(footer, rec.iterationsPercent);
+    serialize_detail::putU64(footer, rec.stats.totalCycles);
+    serialize_detail::putU64(footer, rec.stats.retiredInstrs);
+    serialize_detail::putU64(footer, rec.stats.executedInstrs);
+    serialize_detail::putU64(footer, rec.stats.committedChunks);
+    serialize_detail::putU64(footer, rec.stats.squashes);
+    serialize_detail::putU64(footer, rec.stats.overflowTruncations);
+    serialize_detail::putU64(footer, rec.stats.collisionTruncations);
+    serialize_detail::putU64(footer, rec.stats.hardTruncations);
+    serialize_detail::putU64(footer, rec.fingerprint.perProcAcc.size());
+    for (std::size_t p = 0; p < rec.fingerprint.perProcAcc.size();
+         ++p) {
+        serialize_detail::putU64(footer, rec.fingerprint.perProcAcc[p]);
+        serialize_detail::putU64(footer,
+                                 rec.fingerprint.perProcRetired[p]);
+    }
+    serialize_detail::putU64(footer, rec.fingerprint.finalMemHash);
+    serialize_detail::putU64(footer, segments_.size());
+    for (const ArchiveSegmentInfo &info : segments_) {
+        serialize_detail::putU64(footer, info.endGcc);
+        serialize_detail::putU64(footer, info.fileOffset);
+        serialize_detail::putU64(footer, info.rawBytes);
+        serialize_detail::putU64(footer, info.compBytes);
+        serialize_detail::putU64(footer, info.crc32);
+        serialize_detail::putU64(footer, info.piBitsEnd);
+        serialize_detail::putU64(footer, info.strataBitsEnd);
+        serialize_detail::putU64(footer, info.csBitsEnd.size());
+        for (const std::uint64_t bits : info.csBitsEnd)
+            serialize_detail::putU64(footer, bits);
+        serialize_detail::putU64(footer, info.hasCheckpoint ? 1 : 0);
+        if (info.hasCheckpoint)
+            putCheckpoint(footer, info.checkpoint);
+    }
+    const std::string footer_raw = std::move(footer).str();
+    const std::vector<std::uint8_t> footer_comp =
+        compressPayload(footer_raw);
+    const std::uint64_t footer_offset = offset_;
+    putBytes(footer_comp.data(), footer_comp.size());
+
+    putU64(footer_offset);
+    putU64(footer_comp.size());
+    putU64(footer_raw.size());
+    putU64(crc32(footer_comp.data(), footer_comp.size()));
+    putU64(kArchiveEndMagic);
+
+    if (!*out_)
+        throw std::runtime_error("failed to write archive");
+}
+
+void
+writeArchive(const Recording &rec, std::ostream &out)
+{
+    ArchiveWriter writer(out);
+    writer.write(rec);
+}
+
+void
+writeArchiveFile(const Recording &rec, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path + " for write");
+    writeArchive(rec, out);
+}
+
+// ----- reader ---------------------------------------------------------------
+
+bool
+ArchiveReader::looksLikeArchive(const std::uint8_t *bytes,
+                                std::size_t size)
+{
+    if (size < 8)
+        return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return v == kArchiveMagic;
+}
+
+bool
+ArchiveReader::fileLooksLikeArchive(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::uint8_t head[8];
+    in.read(reinterpret_cast<char *>(head), 8);
+    return in && looksLikeArchive(head, 8);
+}
+
+ArchiveReader
+ArchiveReader::fromBytes(std::vector<std::uint8_t> bytes)
+{
+    ArchiveReader reader;
+    reader.bytes_ = std::move(bytes);
+    reader.parse();
+    return reader;
+}
+
+ArchiveReader
+ArchiveReader::fromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return fromBytes(std::move(bytes));
+}
+
+void
+ArchiveReader::parse()
+{
+    if (bytes_.size() < kHeaderBytes
+        || readU64At(bytes_, 0) != kArchiveMagic)
+        throw ArchiveError(ArchiveSection::kFileHeader,
+                           ArchiveError::kNoSegment,
+                           "not a DeLorean archive");
+    if (readU64At(bytes_, 8) != kArchiveVersion)
+        throw ArchiveError(ArchiveSection::kFileHeader,
+                           ArchiveError::kNoSegment,
+                           "unsupported archive version "
+                               + std::to_string(readU64At(bytes_, 8)));
+    if (bytes_.size() < kHeaderBytes + kTrailerBytes)
+        throw ArchiveError(ArchiveSection::kTrailer,
+                           ArchiveError::kNoSegment,
+                           "file too small for a trailer");
+
+    const std::size_t trailer = bytes_.size() - kTrailerBytes;
+    if (readU64At(bytes_, trailer + 32) != kArchiveEndMagic)
+        throw ArchiveError(ArchiveSection::kTrailer,
+                           ArchiveError::kNoSegment,
+                           "end magic missing (truncated archive?)");
+    const std::uint64_t footer_offset = readU64At(bytes_, trailer);
+    const std::uint64_t footer_comp = readU64At(bytes_, trailer + 8);
+    const std::uint64_t footer_raw = readU64At(bytes_, trailer + 16);
+    const std::uint64_t footer_crc = readU64At(bytes_, trailer + 24);
+    if (footer_offset < kHeaderBytes || footer_comp > bytes_.size()
+        || footer_offset + footer_comp > trailer)
+        throw ArchiveError(ArchiveSection::kTrailer,
+                           ArchiveError::kNoSegment,
+                           "footer location out of bounds");
+
+    if (crc32(bytes_.data() + footer_offset,
+              static_cast<std::size_t>(footer_comp))
+        != footer_crc)
+        throw ArchiveError(ArchiveSection::kFooter,
+                           ArchiveError::kNoSegment,
+                           "footer CRC mismatch");
+
+    std::vector<std::uint8_t> raw;
+    try {
+        const Lz77 codec;
+        raw = codec.decompress(std::vector<std::uint8_t>(
+            bytes_.begin() + static_cast<long>(footer_offset),
+            bytes_.begin()
+                + static_cast<long>(footer_offset + footer_comp)));
+    } catch (const RecordingFormatError &e) {
+        throw ArchiveError(ArchiveSection::kFooter,
+                           ArchiveError::kNoSegment, e.what());
+    }
+    if (raw.size() != footer_raw)
+        throw ArchiveError(ArchiveSection::kFooter,
+                           ArchiveError::kNoSegment,
+                           "footer decompressed size mismatch");
+
+    try {
+        std::istringstream in(
+            std::string(reinterpret_cast<const char *>(raw.data()),
+                        raw.size()),
+            std::ios::binary);
+        machine_ = getMachine(in);
+        mode_ = getMode(in);
+        validateRecordingConfigs(machine_, mode_);
+        app_name_ = getString(in);
+        workload_seed_ = getU64(in);
+        iterations_percent_ = static_cast<unsigned>(getU64(in));
+        for (int k = 0; k < 8; ++k)
+            stats_[k] = getU64(in);
+        const std::uint64_t procs = getU64(in);
+        if (procs != machine_.numProcs)
+            throw RecordingFormatError(
+                "fingerprint per-proc count does not match numProcs");
+        for (std::uint64_t p = 0; p < procs; ++p) {
+            per_proc_acc_.push_back(getU64(in));
+            per_proc_retired_.push_back(getU64(in));
+        }
+        final_mem_hash_ = getU64(in);
+        const std::uint64_t seg_count = getU64(in);
+        if (seg_count == 0 || seg_count > kMaxSegments)
+            throw RecordingFormatError(
+                "segment count " + std::to_string(seg_count)
+                + " outside [1, " + std::to_string(kMaxSegments)
+                + "]");
+        for (std::uint64_t i = 0; i < seg_count; ++i) {
+            ArchiveSegmentInfo info;
+            info.endGcc = getU64(in);
+            info.fileOffset = getU64(in);
+            info.rawBytes = getU64(in);
+            info.compBytes = getU64(in);
+            info.crc32 = getU64(in);
+            info.piBitsEnd = getU64(in);
+            info.strataBitsEnd = getU64(in);
+            const std::uint64_t cs_count = getU64(in);
+            if (cs_count != machine_.numProcs)
+                throw RecordingFormatError(
+                    "segment " + std::to_string(i)
+                    + " CS bit-position count does not match numProcs");
+            for (std::uint64_t p = 0; p < cs_count; ++p)
+                info.csBitsEnd.push_back(getU64(in));
+            info.hasCheckpoint = getU64(in) != 0;
+            if (info.hasCheckpoint) {
+                info.checkpoint = getCheckpoint(in);
+                if (info.checkpoint.contexts.size()
+                    != machine_.numProcs)
+                    throw RecordingFormatError(
+                        "segment " + std::to_string(i)
+                        + " checkpoint context count does not match "
+                          "numProcs");
+                if (info.checkpoint.gcc != info.endGcc)
+                    throw RecordingFormatError(
+                        "segment " + std::to_string(i)
+                        + " checkpoint GCC disagrees with the index");
+            }
+            segments_.push_back(std::move(info));
+        }
+    } catch (const ArchiveError &) {
+        throw;
+    } catch (const RecordingFormatError &e) {
+        throw ArchiveError(ArchiveSection::kFooter,
+                           ArchiveError::kNoSegment, e.what());
+    }
+
+    // Index sanity: offsets in bounds, boundaries ascending, only the
+    // tail segment may lack a checkpoint.
+    std::uint64_t prev_gcc = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const ArchiveSegmentInfo &info = segments_[i];
+        if (info.fileOffset < kHeaderBytes
+            || info.compBytes > bytes_.size()
+            || info.fileOffset + kSegmentHeaderBytes + info.compBytes
+                   > footer_offset)
+            throw ArchiveError(ArchiveSection::kFooter,
+                               ArchiveError::kNoSegment,
+                               "segment " + std::to_string(i)
+                                   + " location out of bounds");
+        if (i > 0 && info.endGcc < prev_gcc)
+            throw ArchiveError(ArchiveSection::kFooter,
+                               ArchiveError::kNoSegment,
+                               "segment boundaries not ascending");
+        prev_gcc = info.endGcc;
+        const bool tail = i + 1 == segments_.size();
+        if (tail == info.hasCheckpoint)
+            throw ArchiveError(
+                ArchiveSection::kFooter, ArchiveError::kNoSegment,
+                tail ? "tail segment carries a checkpoint"
+                     : "non-tail segment "
+                           + std::to_string(i)
+                           + " lacks a checkpoint");
+    }
+}
+
+std::size_t
+ArchiveReader::checkpointCount() const
+{
+    return segments_.size() - 1;
+}
+
+std::vector<std::uint64_t>
+ArchiveReader::checkpointGccs() const
+{
+    std::vector<std::uint64_t> gccs;
+    for (const ArchiveSegmentInfo &info : segments_)
+        if (info.hasCheckpoint)
+            gccs.push_back(info.checkpoint.gcc);
+    return gccs;
+}
+
+const SystemCheckpoint &
+ArchiveReader::checkpointAt(std::size_t index) const
+{
+    if (index >= checkpointCount())
+        throw std::out_of_range("archive checkpoint index "
+                                + std::to_string(index) + " of "
+                                + std::to_string(checkpointCount()));
+    return segments_[index].checkpoint;
+}
+
+std::vector<std::uint8_t>
+ArchiveReader::segmentPayload(std::size_t index) const
+{
+    const ArchiveSegmentInfo &info = segments_[index];
+    const std::size_t off =
+        static_cast<std::size_t>(info.fileOffset);
+    if (readU64At(bytes_, off) != kSegmentMagic)
+        throw ArchiveError(ArchiveSection::kSegment, index,
+                           "segment magic missing at offset "
+                               + std::to_string(off));
+    if (readU64At(bytes_, off + 8) != index)
+        throw ArchiveError(ArchiveSection::kSegment, index,
+                           "segment header id "
+                               + std::to_string(readU64At(bytes_,
+                                                          off + 8))
+                               + " disagrees with the index");
+    if (readU64At(bytes_, off + 16) != info.rawBytes
+        || readU64At(bytes_, off + 24) != info.compBytes
+        || readU64At(bytes_, off + 32) != info.crc32)
+        throw ArchiveError(ArchiveSection::kSegment, index,
+                           "segment header disagrees with the footer "
+                           "index");
+    const std::uint8_t *payload =
+        bytes_.data() + off + kSegmentHeaderBytes;
+    if (crc32(payload, static_cast<std::size_t>(info.compBytes))
+        != info.crc32)
+        throw ArchiveError(ArchiveSection::kSegment, index,
+                           "payload CRC mismatch");
+    std::vector<std::uint8_t> raw;
+    try {
+        const Lz77 codec;
+        raw = codec.decompress(std::vector<std::uint8_t>(
+            payload, payload + info.compBytes));
+    } catch (const RecordingFormatError &e) {
+        throw ArchiveError(ArchiveSection::kSegment, index, e.what());
+    }
+    if (raw.size() != info.rawBytes)
+        throw ArchiveError(ArchiveSection::kSegment, index,
+                           "decompressed size mismatch");
+    return raw;
+}
+
+namespace
+{
+
+/** Decode + parse one segment, attributing parse errors to it. */
+SegmentSlice
+decodeSegment(const std::vector<std::uint8_t> &raw, unsigned num_procs,
+              std::size_t index)
+{
+    try {
+        return parseSegmentPayload(raw, num_procs);
+    } catch (const ArchiveError &) {
+        throw;
+    } catch (const RecordingFormatError &e) {
+        throw ArchiveError(ArchiveSection::kSegment, index, e.what());
+    }
+}
+
+/** Shared recording scaffold for readAll/readInterval. */
+Recording
+skeletonRecording(const MachineConfig &machine, const ModeConfig &mode,
+                  const std::string &app, std::uint64_t seed,
+                  unsigned iterations)
+{
+    Recording rec;
+    rec.machine = machine;
+    rec.mode = mode;
+    rec.appName = app;
+    rec.workloadSeed = seed;
+    rec.iterationsPercent = iterations;
+    rec.pi = PiLog(machine.numProcs);
+    rec.cs.assign(machine.numProcs, CsLog(mode));
+    rec.interrupts = InterruptLog(machine.numProcs);
+    rec.io = IoLog(machine.numProcs);
+    return rec;
+}
+
+/** Append one decoded segment slice onto @p rec's logs. */
+void
+appendSlice(Recording &rec, const SegmentSlice &slice,
+            std::vector<std::uint64_t> &io_base, std::size_t segment)
+{
+    const unsigned n = rec.machine.numProcs;
+    for (const ProcId p : slice.pi) {
+        if (p >= n && p != kDmaProcId)
+            throw ArchiveError(ArchiveSection::kSegment, segment,
+                               "PI entry names proc "
+                                   + std::to_string(p));
+        rec.pi.append(p);
+    }
+    for (const Stratum &s : slice.strata)
+        rec.strata.push_back(s);
+    for (ProcId p = 0; p < n; ++p) {
+        for (const CsEntry &e : slice.cs[p]) {
+            if (rec.mode.mode == ExecMode::kOrderAndSize)
+                rec.cs[p].appendCommittedSize(e.seq, e.size, e.maxSize);
+            else
+                rec.cs[p].appendTruncation(e.seq, e.size);
+        }
+        for (const InterruptRecord &e : slice.interrupts[p])
+            rec.interrupts.append(p, e);
+        for (std::size_t k = 0; k < slice.io[p].size(); ++k)
+            rec.io.append(p, io_base[p] + k, slice.io[p][k]);
+        io_base[p] += slice.io[p].size();
+    }
+    for (const auto &[xfer, slot] : slice.dma)
+        rec.dma.append(xfer, slot);
+    for (const CommitRecord &c : slice.commits)
+        rec.fingerprint.commits.push_back(c);
+}
+
+} // namespace
+
+Recording
+ArchiveReader::readAll() const
+{
+    Recording rec = skeletonRecording(machine_, mode_, app_name_,
+                                      workload_seed_,
+                                      iterations_percent_);
+    std::vector<std::uint64_t> io_base(machine_.numProcs, 0);
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const SegmentSlice slice =
+            decodeSegment(segmentPayload(i), machine_.numProcs, i);
+        appendSlice(rec, slice, io_base, i);
+        if (segments_[i].hasCheckpoint)
+            rec.checkpoints.push_back(segments_[i].checkpoint);
+    }
+    rec.fingerprint.perProcAcc = per_proc_acc_;
+    rec.fingerprint.perProcRetired = per_proc_retired_;
+    rec.fingerprint.finalMemHash = final_mem_hash_;
+    rec.stats.totalCycles = stats_[0];
+    rec.stats.retiredInstrs = stats_[1];
+    rec.stats.executedInstrs = stats_[2];
+    rec.stats.committedChunks = stats_[3];
+    rec.stats.squashes = stats_[4];
+    rec.stats.overflowTruncations = stats_[5];
+    rec.stats.collisionTruncations = stats_[6];
+    rec.stats.hardTruncations = stats_[7];
+    validateRecording(rec);
+    return rec;
+}
+
+Recording
+ArchiveReader::readInterval(std::size_t from, std::size_t to) const
+{
+    if (from >= checkpointCount())
+        throw std::out_of_range("archive checkpoint index "
+                                + std::to_string(from) + " of "
+                                + std::to_string(checkpointCount()));
+    const std::size_t last_seg =
+        to == kToEnd ? segments_.size() - 1 : to;
+    if (to != kToEnd && (to <= from || to >= checkpointCount()))
+        throw std::out_of_range(
+            "archive interval [" + std::to_string(from) + ", "
+            + std::to_string(to) + ") is not a valid checkpoint pair");
+
+    Recording rec = skeletonRecording(machine_, mode_, app_name_,
+                                      workload_seed_,
+                                      iterations_percent_);
+    const unsigned n = machine_.numProcs;
+    const SystemCheckpoint &start = segments_[from].checkpoint;
+    std::uint64_t chunk0 = 0;
+    for (const ChunkSeq c : start.committedChunks)
+        chunk0 += c;
+    const std::size_t dma0 = start.dmaConsumed;
+
+    // ----- synthetic prefix: consumed by the replay skip logic ------
+    if (rec.stratified()) {
+        for (std::size_t i = 0; i < dma0; ++i) {
+            Stratum s;
+            s.isDma = true;
+            s.counts.assign(n, 0);
+            rec.strata.push_back(std::move(s));
+        }
+        std::vector<std::uint64_t> need(start.committedChunks.begin(),
+                                        start.committedChunks.end());
+        const std::uint64_t cap =
+            std::max<std::uint64_t>(1, mode_.stratifyChunksPerProc);
+        bool any = true;
+        while (any) {
+            any = false;
+            Stratum s;
+            s.counts.assign(n, 0);
+            for (unsigned p = 0; p < n; ++p) {
+                const std::uint64_t take =
+                    std::min<std::uint64_t>(need[p], cap);
+                s.counts[p] = static_cast<std::uint8_t>(take);
+                need[p] -= take;
+                any = any || take;
+            }
+            if (any)
+                rec.strata.push_back(std::move(s));
+        }
+    } else if (mode_.mode != ExecMode::kPicoLog) {
+        for (std::size_t i = 0; i < dma0; ++i)
+            rec.pi.append(kDmaProcId);
+        for (std::uint64_t i = 0; i < start.gcc - dma0; ++i)
+            rec.pi.append(0);
+    }
+    for (std::size_t i = 0; i < dma0; ++i)
+        rec.dma.append(DmaTransfer{}, 0);
+    rec.fingerprint.commits.assign(static_cast<std::size_t>(chunk0),
+                                   CommitRecord{});
+
+    // ----- real data: only the segments covering the interval -------
+    std::vector<std::uint64_t> io_base;
+    for (const ThreadContext &ctx : start.contexts)
+        io_base.push_back(ctx.ioLoadCount);
+    for (std::size_t i = from + 1; i <= last_seg; ++i) {
+        const SegmentSlice slice =
+            decodeSegment(segmentPayload(i), n, i);
+        appendSlice(rec, slice, io_base, i);
+    }
+
+    rec.fingerprint.perProcAcc = per_proc_acc_;
+    rec.fingerprint.perProcRetired = per_proc_retired_;
+    rec.fingerprint.finalMemHash = final_mem_hash_;
+    rec.checkpoints.push_back(start);
+    if (to != kToEnd)
+        rec.checkpoints.push_back(segments_[to].checkpoint);
+    validateRecording(rec);
+    return rec;
+}
+
+} // namespace delorean

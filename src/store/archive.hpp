@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Recording archive: a segmented, compressed, checkpoint-indexed
+ * container for DeLorean recordings.
+ *
+ * A .dlr recording serializes every log as one monolithic stream —
+ * replaying the interval I(n, m) still pays for loading and parsing
+ * the whole thing. The archive (.dla) cuts the recording into
+ * *segments* at system-checkpoint GCC boundaries:
+ *
+ *   file  := header  segment*  footer  trailer
+ *   header:= magic "DeLoArcv" (u64)  version (u64)
+ *   segment := segMagic "DeLoSeg." (u64)  index (u64)
+ *              rawBytes (u64)  compBytes (u64)  crc32 (u64)
+ *              payload [compBytes]           -- LZ77-compressed
+ *   footer := LZ77-compressed metadata + per-segment index
+ *             (endGcc, file offset, sizes, CRC, per-proc log bit
+ *             positions, and the boundary SystemCheckpoint)
+ *   trailer:= footerOffset (u64)  footerCompBytes (u64)
+ *             footerRawBytes (u64)  footerCrc32 (u64)
+ *             endMagic "DeLoArcZ" (u64)
+ *
+ * Segment i holds the log slices covering the GCC interval
+ * (ckpt[i-1].gcc, ckpt[i].gcc]; a final tail segment covers from the
+ * last checkpoint to the end of the run. Every payload carries the
+ * CRC-32 of its compressed bytes, so corruption is *detected* — a
+ * typed ArchiveError naming the section and segment — never a crash
+ * or a silent divergence. The reader seeks to a checkpoint in O(1)
+ * via the footer index and decodes only the segments covering the
+ * requested interval.
+ */
+
+#ifndef DELOREAN_STORE_ARCHIVE_HPP_
+#define DELOREAN_STORE_ARCHIVE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "core/checkpoint.hpp"
+#include "core/recording.hpp"
+
+namespace delorean
+{
+
+/** Structural region of an archive file an error can point at. */
+enum class ArchiveSection
+{
+    kFileHeader,
+    kSegment,
+    kFooter,
+    kTrailer,
+};
+
+const char *archiveSectionName(ArchiveSection section);
+
+/**
+ * A malformed or corrupted archive. Subtype of RecordingFormatError
+ * so every existing handler that fences the loading layer also fences
+ * archive parsing; carries the failing section and (for segment
+ * errors) the zero-based segment id.
+ */
+class ArchiveError : public RecordingFormatError
+{
+  public:
+    static constexpr std::size_t kNoSegment =
+        static_cast<std::size_t>(-1);
+
+    ArchiveError(ArchiveSection section, std::size_t segment,
+                 const std::string &what);
+
+    ArchiveSection section() const { return section_; }
+
+    /** Failing segment id, or kNoSegment for non-segment sections. */
+    std::size_t segment() const { return segment_; }
+
+  private:
+    ArchiveSection section_;
+    std::size_t segment_;
+};
+
+/** Footer index entry: everything known about one segment. */
+struct ArchiveSegmentInfo
+{
+    /// GCC at the end of this segment's interval (== the boundary
+    /// checkpoint's GCC, or the recording's final GCC for the tail).
+    std::uint64_t endGcc = 0;
+    std::uint64_t fileOffset = 0; ///< of the segment header
+    std::uint64_t rawBytes = 0;   ///< decompressed payload size
+    std::uint64_t compBytes = 0;  ///< stored payload size
+    std::uint64_t crc32 = 0;      ///< CRC-32 of the compressed payload
+
+    /// Cumulative bit positions in the raw bit-packed memory-ordering
+    /// logs at this segment's end — where a hardware recorder's log
+    /// write pointers stood at the checkpoint.
+    std::uint64_t piBitsEnd = 0;
+    std::uint64_t strataBitsEnd = 0;
+    std::vector<std::uint64_t> csBitsEnd; ///< one per processor
+
+    bool hasCheckpoint = false;   ///< false only for the tail segment
+    SystemCheckpoint checkpoint;  ///< boundary state (if hasCheckpoint)
+};
+
+/**
+ * Streams a Recording into an archive: segments are cut at the
+ * recording's checkpoint GCCs and written one at a time, then the
+ * footer index and trailer. Requires checkpoints in strictly
+ * ascending GCC order (the recorder emits them that way).
+ */
+class ArchiveWriter
+{
+  public:
+    explicit ArchiveWriter(std::ostream &out) : out_(&out) {}
+
+    /** Write the whole archive. Call once. */
+    void write(const Recording &rec);
+
+    /** Segments emitted (checkpoints + tail), after write(). */
+    std::size_t segmentCount() const { return segments_.size(); }
+
+  private:
+    std::ostream *out_;
+    std::uint64_t offset_ = 0;
+    std::vector<ArchiveSegmentInfo> segments_;
+
+    void putBytes(const std::uint8_t *data, std::size_t size);
+    void putU64(std::uint64_t v);
+};
+
+/** Archive @p rec to @p out. */
+void writeArchive(const Recording &rec, std::ostream &out);
+
+/** Archive @p rec to file @p path. */
+void writeArchiveFile(const Recording &rec, const std::string &path);
+
+/**
+ * Random-access archive reader. Construction parses and integrity-
+ * checks the header, footer and trailer (O(#segments), not O(bytes));
+ * segment payloads are CRC-checked and decoded only when a read needs
+ * them. All failures surface as ArchiveError.
+ */
+class ArchiveReader
+{
+  public:
+    static ArchiveReader fromBytes(std::vector<std::uint8_t> bytes);
+    static ArchiveReader fromFile(const std::string &path);
+
+    /** True if @p bytes starts with the archive magic. */
+    static bool looksLikeArchive(const std::uint8_t *bytes,
+                                 std::size_t size);
+
+    /** Convenience: magic sniff on a file's first 8 bytes. */
+    static bool fileLooksLikeArchive(const std::string &path);
+
+    const std::vector<ArchiveSegmentInfo> &segments() const
+    {
+        return segments_;
+    }
+
+    /** Number of seekable checkpoints (segments minus the tail). */
+    std::size_t checkpointCount() const;
+
+    /** GCCs of the seekable checkpoints, ascending. */
+    std::vector<std::uint64_t> checkpointGccs() const;
+
+    /** Boundary checkpoint @p index (0-based, ascending GCC). */
+    const SystemCheckpoint &checkpointAt(std::size_t index) const;
+
+    const MachineConfig &machine() const { return machine_; }
+    const ModeConfig &mode() const { return mode_; }
+    const std::string &appName() const { return app_name_; }
+    std::uint64_t workloadSeed() const { return workload_seed_; }
+    unsigned iterationsPercent() const { return iterations_percent_; }
+
+    /**
+     * Reassemble the complete Recording. Byte-identical to the
+     * archived one: saveRecording(readAll()) equals saveRecording()
+     * of the original. Decodes (and CRC-checks) every segment.
+     */
+    Recording readAll() const;
+
+    /**
+     * Interval view for replaying I(ckpt[from].gcc, end) — or, when
+     * @p to != kToEnd, the bounded I(ckpt[from].gcc, ckpt[to].gcc).
+     * Only the segments covering the interval are decoded; the log
+     * prefix before the start checkpoint is replaced by synthetic
+     * filler the replay skip logic consumes without ever touching
+     * real data. The returned Recording carries the start checkpoint
+     * at checkpoints[0] (hand it to Replayer::replayInterval with
+     * checkpoint_index 0) and, when bounded, the stop checkpoint at
+     * checkpoints[1] (pass &rec.checkpoints[1] as the stop).
+     */
+    static constexpr std::size_t kToEnd = static_cast<std::size_t>(-1);
+    Recording readInterval(std::size_t from,
+                           std::size_t to = kToEnd) const;
+
+  private:
+    ArchiveReader() = default;
+
+    void parse();
+    /// Decode + verify one segment payload; returns raw bytes.
+    std::vector<std::uint8_t> segmentPayload(std::size_t index) const;
+
+    std::vector<std::uint8_t> bytes_;
+    MachineConfig machine_;
+    ModeConfig mode_;
+    std::string app_name_;
+    std::uint64_t workload_seed_ = 0;
+    unsigned iterations_percent_ = 100;
+    std::uint64_t stats_[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::vector<std::uint64_t> per_proc_acc_;
+    std::vector<std::uint64_t> per_proc_retired_;
+    std::uint64_t final_mem_hash_ = 0;
+    std::vector<ArchiveSegmentInfo> segments_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_STORE_ARCHIVE_HPP_

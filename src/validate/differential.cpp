@@ -6,6 +6,7 @@
 
 #include "core/recorder.hpp"
 #include "core/serialize.hpp"
+#include "store/archive.hpp"
 #include "trace/app_profile.hpp"
 #include "trace/workload.hpp"
 #include "validate/replay_check.hpp"
@@ -94,8 +95,10 @@ runOne(const DifferentialJob &job, const std::string &label,
     try {
         Workload workload(job.app, job.numProcs, job.workloadSeed,
                           WorkloadScale{job.scalePercent});
-        const Recording rec = Recorder(mode, machine)
-                                  .record(workload, job.recordEnvSeed);
+        const Recording rec =
+            Recorder(mode, machine)
+                .record(workload, job.recordEnvSeed, true, {},
+                        job.checkpointPeriod);
 
         // Serialize, reload, re-serialize: the replay below runs on
         // the *loaded* copy so the wire format itself is under test.
@@ -107,6 +110,47 @@ runOne(const DifferentialJob &job, const std::string &label,
         saveRecording(loaded, second);
         run.roundTripIdentical = first.str() == second.str();
         run.recorded = true;
+
+        // Archive legs: segment the recording at its checkpoints,
+        // read it back whole (byte identity), then replay the
+        // interval from every checkpoint off the archive alone.
+        if (job.checkpointPeriod != 0) {
+            std::ostringstream abuf;
+            writeArchive(rec, abuf);
+            const std::string abytes = std::move(abuf).str();
+            const ArchiveReader reader = ArchiveReader::fromBytes(
+                {abytes.begin(), abytes.end()});
+            run.archiveCheckpoints = reader.checkpointCount();
+            std::ostringstream third;
+            saveRecording(reader.readAll(), third);
+            run.archiveRoundTripIdentical =
+                first.str() == third.str();
+
+            run.archiveIntervalsOk = true;
+            Workload replay_workload(job.app, job.numProcs,
+                                     job.workloadSeed,
+                                     WorkloadScale{job.scalePercent});
+            Replayer replayer;
+            ReplayPerturbation perturb;
+            if (job.perturbReplay) {
+                perturb.enabled = true;
+                perturb.seed = job.replayEnvSeed * 31 + 7;
+            }
+            for (std::size_t i = 0; i < reader.checkpointCount();
+                 ++i) {
+                const Recording view = reader.readInterval(i);
+                const ReplayOutcome out = replayer.replayInterval(
+                    view, 0, replay_workload, job.replayEnvSeed + i,
+                    perturb);
+                const bool match = run.stratified
+                                       ? out.deterministicPerProc
+                                       : out.deterministicExact;
+                if (!match) {
+                    run.archiveIntervalsOk = false;
+                    break;
+                }
+            }
+        }
     } catch (const std::exception &e) {
         run.error = e.what();
         return run;
@@ -199,8 +243,14 @@ DifferentialResult::describe() const
             << " parallel="
             << (r.parallelReplayOk && r.parallelMatchesSerial
                     ? "ok"
-                    : "DIVERGED")
-            << (r.roundTripIdentical ? "" : " round-trip=NOT-IDENTICAL");
+                    : "DIVERGED");
+        if (r.archiveCheckpoints != 0 || r.archiveRoundTripIdentical)
+            out << " archive="
+                << (r.archiveRoundTripIdentical && r.archiveIntervalsOk
+                        ? "ok"
+                        : "DIVERGED")
+                << "(" << r.archiveCheckpoints << " ckpts)";
+        out << (r.roundTripIdentical ? "" : " round-trip=NOT-IDENTICAL");
         if (!r.replayOk)
             out << "\n    " << r.report.describe();
         else if (!r.windowedReplayOk || !r.parallelReplayOk)
@@ -264,6 +314,14 @@ DifferentialChecker::check(const DifferentialJob &job) const
         else if (!r.parallelMatchesSerial)
             fail(r.label + ": chunk-parallel replay fingerprint "
                  "differs from serial replay");
+        if (job.checkpointPeriod != 0) {
+            if (!r.archiveRoundTripIdentical)
+                fail(r.label + ": archive readAll() not "
+                     "byte-identical to the recording");
+            if (!r.archiveIntervalsOk)
+                fail(r.label + ": interval replay off the archive "
+                     "diverged from the recording");
+        }
     }
     if (!result.failures.empty())
         return result;

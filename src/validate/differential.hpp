@@ -79,6 +79,11 @@ struct DifferentialJob
     unsigned parallelWindow = 8;
     /// WorkerPool width for the chunk-parallel leg; 0 = DELOREAN_JOBS.
     unsigned parallelJobs = 0;
+    /// Take a system checkpoint every this many global commits during
+    /// the record run, then archive the recording (src/store) and
+    /// replay the interval from every checkpoint straight off the
+    /// archive. 0 disables the archive legs.
+    std::uint64_t checkpointPeriod = 40;
 };
 
 /** One (mode, PI-flavor) recording + checked replay. */
@@ -106,6 +111,16 @@ struct DifferentialRun
     /// Chunk-parallel replay's fingerprint AND interval fingerprints
     /// agree with the serial replay's (same comparison rule).
     bool parallelMatchesSerial = false;
+    /// Archive legs (job.checkpointPeriod != 0): the archived
+    /// recording read back whole is byte-identical under
+    /// saveRecording().
+    bool archiveRoundTripIdentical = false;
+    /// Interval replay straight off the archive reproduced the
+    /// recording from *every* checkpoint (per-processor comparison
+    /// for stratified logs).
+    bool archiveIntervalsOk = false;
+    /// Checkpoints the record run took (archive segments minus one).
+    std::size_t archiveCheckpoints = 0;
     DivergenceReport report; ///< failure detail when !replayOk
     DivergenceReport parallelReport; ///< ditto for the parallel legs
     LogSizeReport sizes;

@@ -1,11 +1,16 @@
 #include "validate/fault_injector.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <optional>
 #include <sstream>
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
+#include "compress/lz77.hpp"
 #include "core/serialize.hpp"
+#include "store/archive.hpp"
+#include "store/crc32.hpp"
 
 namespace delorean
 {
@@ -223,6 +228,381 @@ runFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                 seed0 * 1'000'003ull + k * 7919ull + i;
             summary.add(runMutant(
                 serialized, static_cast<MutationKind>(k), seed, opts));
+        }
+    }
+    return summary;
+}
+
+// ----- archive-level fault injection ----------------------------------------
+
+const char *
+archiveMutationKindName(ArchiveMutationKind kind)
+{
+    switch (kind) {
+      case ArchiveMutationKind::kSegmentBitFlip:
+        return "segment-bit-flip";
+      case ArchiveMutationKind::kFooterTruncate:
+        return "footer-truncate";
+      case ArchiveMutationKind::kIndexCorrupt:
+        return "index-corrupt";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+flipBits(std::vector<std::uint8_t> &bytes, std::size_t begin,
+         std::size_t end, Xoshiro256ss &rng)
+{
+    if (end <= begin)
+        return;
+    const unsigned flips = 1 + static_cast<unsigned>(rng.below(8));
+    const std::uint64_t span = (end - begin) * 8;
+    for (unsigned i = 0; i < flips; ++i) {
+        const std::uint64_t bit = rng.below(span);
+        bytes[begin + bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+}
+
+std::uint64_t
+u64At(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+    return v;
+}
+
+void
+putU64At(std::vector<std::uint8_t> &bytes, std::size_t offset,
+         std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+mutateArchive(const std::vector<std::uint8_t> &bytes,
+              ArchiveMutationKind kind, std::uint64_t seed)
+{
+    Xoshiro256ss rng(seed ^ 0xA2C817EC7ull);
+    std::vector<std::uint8_t> out = bytes;
+    if (out.size() < 56) {
+        // Too small to carry any structure; degrade to a bit flip.
+        flipBits(out, 0, out.size(), rng);
+        return out;
+    }
+    const std::size_t trailer = out.size() - 40;
+    const std::uint64_t footer_offset = u64At(out, trailer);
+
+    switch (kind) {
+      case ArchiveMutationKind::kSegmentBitFlip: {
+        // Aim at one segment's compressed payload via the archive's
+        // own index so the flip never lands in footer or trailer.
+        try {
+            const ArchiveReader reader = ArchiveReader::fromBytes(out);
+            const auto &segs = reader.segments();
+            const ArchiveSegmentInfo &seg =
+                segs[static_cast<std::size_t>(rng.below(segs.size()))];
+            const std::size_t begin =
+                static_cast<std::size_t>(seg.fileOffset) + 40;
+            flipBits(out, begin,
+                     begin + static_cast<std::size_t>(seg.compBytes),
+                     rng);
+        } catch (const std::exception &) {
+            flipBits(out, 0, out.size(), rng);
+        }
+        break;
+      }
+      case ArchiveMutationKind::kFooterTruncate: {
+        // Cut somewhere inside the footer or trailer region.
+        const std::size_t begin = std::min<std::size_t>(
+            static_cast<std::size_t>(footer_offset), out.size());
+        out.resize(begin + rng.below(out.size() - begin));
+        break;
+      }
+      case ArchiveMutationKind::kIndexCorrupt: {
+        // Scribble on the *decompressed* footer, then recompress and
+        // rebuild a consistent trailer (sizes + CRC all valid), so
+        // the checksum layer passes and the reader's semantic
+        // cross-checks are what must catch the lie.
+        try {
+            const std::uint64_t comp_size = u64At(out, trailer + 8);
+            const Lz77 codec;
+            std::vector<std::uint8_t> raw =
+                codec.decompress(std::vector<std::uint8_t>(
+                    out.begin() + static_cast<long>(footer_offset),
+                    out.begin()
+                        + static_cast<long>(footer_offset
+                                            + comp_size)));
+            if (raw.empty())
+                break;
+            // Half the mutants aim at the first segment's structural
+            // index fields (endGcc, file offset, sizes, CRC, log bit
+            // positions) — a one-byte scribble anywhere else in the
+            // footer almost always lands in checkpoint memory words,
+            // which only the replay legs can judge. Walk the footer
+            // layout: machine + mode + appName + seed + iterations +
+            // stats + per-proc finals + memory hash + segment count.
+            std::size_t idx0 = raw.size();
+            if (raw.size() >= 152) {
+                const auto rawU64 = [&raw](std::size_t off) {
+                    std::uint64_t v = 0;
+                    for (int i = 0; i < 8; ++i)
+                        v |= static_cast<std::uint64_t>(raw[off + i])
+                             << (8 * i);
+                    return v;
+                };
+                const std::uint64_t name_len = rawU64(144);
+                if (name_len < raw.size()) {
+                    std::size_t off = 152
+                                      + static_cast<std::size_t>(
+                                          name_len)
+                                      + 16 + 64;
+                    if (off + 8 <= raw.size()) {
+                        const std::uint64_t procs = rawU64(off);
+                        off += 8
+                               + static_cast<std::size_t>(procs) * 16
+                               + 8 + 8;
+                        if (off + 56 <= raw.size())
+                            idx0 = off;
+                    }
+                }
+            }
+            const std::size_t pos =
+                (idx0 + 56 <= raw.size() && rng.below(2) == 0)
+                    ? idx0 + static_cast<std::size_t>(rng.below(56))
+                    : static_cast<std::size_t>(rng.below(raw.size()));
+            raw[pos] ^=
+                static_cast<std::uint8_t>(1 + rng.below(255));
+            Lz77Stream stream;
+            stream.append(raw);
+            const std::vector<std::uint8_t> comp = stream.finish();
+            out.resize(static_cast<std::size_t>(footer_offset));
+            out.insert(out.end(), comp.begin(), comp.end());
+            const std::size_t new_trailer = out.size();
+            out.resize(out.size() + 40);
+            putU64At(out, new_trailer, footer_offset);
+            putU64At(out, new_trailer + 8, comp.size());
+            putU64At(out, new_trailer + 16, raw.size());
+            putU64At(out, new_trailer + 24,
+                     crc32(comp.data(), comp.size()));
+            putU64At(out, new_trailer + 32,
+                     u64At(bytes, trailer + 32)); // end magic
+        } catch (const std::exception &) {
+            flipBits(out, static_cast<std::size_t>(footer_offset),
+                     out.size(), rng);
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+void
+ArchiveFaultSweepSummary::add(const ArchiveMutantResult &r)
+{
+    ++total;
+    switch (r.outcome) {
+      case MutantOutcome::kRejectedAtLoad:
+        ++rejectedAtLoad;
+        break;
+      case MutantOutcome::kReplayedIdentically:
+        ++replayedIdentically;
+        break;
+      case MutantOutcome::kDivergenceDetected:
+        ++divergenceDetected;
+        break;
+      case MutantOutcome::kReplayErrorReported:
+        ++replayErrorReported;
+        break;
+      case MutantOutcome::kUnexpected:
+        ++unexpected;
+        unexpectedResults.push_back(r);
+        break;
+    }
+}
+
+std::string
+ArchiveFaultSweepSummary::describe() const
+{
+    std::ostringstream out;
+    out << "archive fault sweep: " << total << " mutants | rejected "
+        << rejectedAtLoad << " | identical " << replayedIdentically
+        << " | divergence " << divergenceDetected << " | replay-error "
+        << replayErrorReported << " | UNEXPECTED " << unexpected;
+    for (const ArchiveMutantResult &r : unexpectedResults)
+        out << "\n  " << archiveMutationKindName(r.kind) << " seed "
+            << r.seed << ": " << r.message;
+    return out.str();
+}
+
+namespace
+{
+
+/** Severity order for combining the readAll and interval legs. */
+int
+outcomeSeverity(MutantOutcome outcome)
+{
+    switch (outcome) {
+      case MutantOutcome::kReplayedIdentically:
+        return 0;
+      case MutantOutcome::kRejectedAtLoad:
+        return 1;
+      case MutantOutcome::kReplayErrorReported:
+        return 2;
+      case MutantOutcome::kDivergenceDetected:
+        return 3;
+      case MutantOutcome::kUnexpected:
+        return 4;
+    }
+    return 4;
+}
+
+/**
+ * Classify one recording pulled out of a mutant archive: checked
+ * replay with every failure fenced, exactly like runMutant's tail.
+ */
+MutantOutcome
+classifyRecording(const Recording &rec, const ReplayCheckOptions &opts,
+                  std::string &message)
+{
+    ReplayCheckResult check;
+    try {
+        check = checkedReplay(rec, opts);
+    } catch (const std::exception &e) {
+        message = std::string("checkedReplay threw: ") + e.what();
+        return MutantOutcome::kUnexpected;
+    }
+    if (check.ok)
+        return MutantOutcome::kReplayedIdentically;
+    message = check.report.message;
+    switch (check.report.kind) {
+      case DivergenceKind::kFormatError:
+      case DivergenceKind::kWorkloadError:
+        return MutantOutcome::kRejectedAtLoad;
+      case DivergenceKind::kReplayError:
+        return MutantOutcome::kReplayErrorReported;
+      case DivergenceKind::kCommitDivergence:
+      case DivergenceKind::kMissingCommits:
+      case DivergenceKind::kExtraCommits:
+      case DivergenceKind::kStateDivergence:
+        return MutantOutcome::kDivergenceDetected;
+      case DivergenceKind::kNone:
+        message = "checkedReplay returned !ok with an empty report";
+        return MutantOutcome::kUnexpected;
+    }
+    return MutantOutcome::kUnexpected;
+}
+
+} // namespace
+
+ArchiveMutantResult
+runArchiveMutant(const std::vector<std::uint8_t> &archive,
+                 ArchiveMutationKind kind, std::uint64_t seed,
+                 const ReplayCheckOptions &opts)
+{
+    ArchiveMutantResult result;
+    result.kind = kind;
+    result.seed = seed;
+
+    const std::vector<std::uint8_t> mutated =
+        mutateArchive(archive, kind, seed);
+
+    // Leg 1: parse + readAll + checked replay.
+    Recording full;
+    std::size_t checkpoints = 0;
+    std::optional<ArchiveReader> reader;
+    try {
+        reader = ArchiveReader::fromBytes(mutated);
+        checkpoints = reader->checkpointCount();
+        full = reader->readAll();
+    } catch (const ArchiveError &e) {
+        result.outcome = MutantOutcome::kRejectedAtLoad;
+        result.typedArchiveError = true;
+        result.segment = e.segment();
+        result.message = e.what();
+        return result;
+    } catch (const RecordingFormatError &e) {
+        // validateRecording() inside readAll — still a typed, fenced
+        // rejection, just without section attribution.
+        result.outcome = MutantOutcome::kRejectedAtLoad;
+        result.message = e.what();
+        return result;
+    } catch (const std::exception &e) {
+        result.outcome = MutantOutcome::kUnexpected;
+        result.message =
+            std::string("archive reader threw non-format error: ")
+            + e.what();
+        return result;
+    }
+
+    result.outcome = classifyRecording(full, opts, result.message);
+    if (result.outcome == MutantOutcome::kUnexpected)
+        return result;
+
+    // Leg 2: interval replay through the (possibly lying) index. Only
+    // reachable when the mutant still parses; a corrupt index must
+    // surface as a typed rejection or a localized divergence here,
+    // never a crash.
+    if (checkpoints > 0) {
+        const std::size_t from =
+            static_cast<std::size_t>(seed % checkpoints);
+        MutantOutcome interval = MutantOutcome::kReplayedIdentically;
+        std::string interval_message;
+        try {
+            const Recording view = reader->readInterval(from);
+            ReplayCheckOptions iopts = opts;
+            iopts.startCheckpoint = 0;
+            interval =
+                classifyRecording(view, iopts, interval_message);
+        } catch (const ArchiveError &e) {
+            interval = MutantOutcome::kRejectedAtLoad;
+            result.typedArchiveError = true;
+            result.segment = e.segment();
+            interval_message = e.what();
+        } catch (const RecordingFormatError &e) {
+            interval = MutantOutcome::kRejectedAtLoad;
+            interval_message = e.what();
+        } catch (const std::exception &e) {
+            interval = MutantOutcome::kUnexpected;
+            interval_message =
+                std::string("readInterval threw non-format error: ")
+                + e.what();
+        }
+        if (outcomeSeverity(interval) > outcomeSeverity(result.outcome)
+            || (interval != MutantOutcome::kReplayedIdentically
+                && result.message.empty())) {
+            result.outcome = interval;
+            result.message = interval_message;
+        }
+    }
+    return result;
+}
+
+ArchiveFaultSweepSummary
+runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
+                     std::uint64_t seed0,
+                     const ReplayCheckOptions &opts)
+{
+    std::ostringstream buf;
+    writeArchive(rec, buf);
+    const std::string s = std::move(buf).str();
+    const std::vector<std::uint8_t> archive(s.begin(), s.end());
+
+    ArchiveFaultSweepSummary summary;
+    for (unsigned k = 0; k < kArchiveMutationKinds; ++k) {
+        for (unsigned i = 0; i < mutants_per_kind; ++i) {
+            const std::uint64_t seed =
+                seed0 * 1'000'003ull + k * 104'729ull + i;
+            summary.add(runArchiveMutant(
+                archive, static_cast<ArchiveMutationKind>(k), seed,
+                opts));
         }
     }
     return summary;

@@ -112,6 +112,94 @@ FaultSweepSummary runFaultSweep(const Recording &rec,
                                 std::uint64_t seed0,
                                 const ReplayCheckOptions &opts = {});
 
+// ----- archive-level fault injection (src/store container) ------------------
+
+/**
+ * Mutation classes applied to an archive byte stream. Unlike the
+ * serialized-recording mutations above, these target the container's
+ * structural layers: compressed segment payloads, the footer, and the
+ * footer's semantic index (where the CRC is *valid* but the indexed
+ * metadata lies, so the reader's cross-checks — not the checksum —
+ * must catch it).
+ */
+enum class ArchiveMutationKind : std::uint8_t
+{
+    kSegmentBitFlip, ///< flip 1-8 bits inside one segment's payload
+    kFooterTruncate, ///< cut the stream inside the footer or trailer
+    kIndexCorrupt,   ///< scribble on the decompressed footer, then
+                     ///< recompress and rebuild a *valid* trailer
+};
+
+constexpr unsigned kArchiveMutationKinds = 3;
+
+/** Short printable name of an archive mutation kind. */
+const char *archiveMutationKindName(ArchiveMutationKind kind);
+
+/**
+ * Deterministically mutate archive @p bytes (seed => same mutant).
+ * @p bytes must be a well-formed archive (the mutator reads its own
+ * index to aim at the right region); malformed input falls back to a
+ * plain bit flip.
+ */
+std::vector<std::uint8_t>
+mutateArchive(const std::vector<std::uint8_t> &bytes,
+              ArchiveMutationKind kind, std::uint64_t seed);
+
+/** One archive mutant's result. */
+struct ArchiveMutantResult
+{
+    ArchiveMutationKind kind = ArchiveMutationKind::kSegmentBitFlip;
+    std::uint64_t seed = 0;
+    MutantOutcome outcome = MutantOutcome::kUnexpected;
+    /// True when the rejection was a typed ArchiveError (so the
+    /// failing section — and, for segments, the segment id — was
+    /// named), rather than a generic RecordingFormatError.
+    bool typedArchiveError = false;
+    /// Failing segment id when typedArchiveError named one, else
+    /// ArchiveError::kNoSegment.
+    std::size_t segment = static_cast<std::size_t>(-1);
+    std::string message;
+};
+
+/** Aggregate of an archive fault sweep. */
+struct ArchiveFaultSweepSummary
+{
+    std::uint64_t total = 0;
+    std::uint64_t rejectedAtLoad = 0;
+    std::uint64_t replayedIdentically = 0;
+    std::uint64_t divergenceDetected = 0;
+    std::uint64_t replayErrorReported = 0;
+    std::uint64_t unexpected = 0;
+    std::vector<ArchiveMutantResult> unexpectedResults;
+
+    bool ok() const { return unexpected == 0; }
+    void add(const ArchiveMutantResult &r);
+    std::string describe() const;
+};
+
+/**
+ * Run one archive mutant: mutate @p archive, then drive the full
+ * reader pipeline — parse, readAll(), checked replay, and (when the
+ * mutant still exposes checkpoints) an interval-replay leg through
+ * readInterval(). Acceptable outcomes mirror runMutant(): a typed
+ * rejection, an identical replay, or a structured divergence. Crashes
+ * and untyped exceptions are kUnexpected.
+ */
+ArchiveMutantResult
+runArchiveMutant(const std::vector<std::uint8_t> &archive,
+                 ArchiveMutationKind kind, std::uint64_t seed,
+                 const ReplayCheckOptions &opts = {});
+
+/**
+ * Sweep @p mutants_per_kind archive mutants of every kind over the
+ * archived form of @p rec. Record @p rec with checkpoints (e.g. a
+ * checkpoint period) so the interval-replay leg has seek targets.
+ */
+ArchiveFaultSweepSummary
+runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
+                     std::uint64_t seed0,
+                     const ReplayCheckOptions &opts = {});
+
 } // namespace delorean
 
 #endif // DELOREAN_VALIDATE_FAULT_INJECTOR_HPP_

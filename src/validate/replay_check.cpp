@@ -45,7 +45,10 @@ prepareWorkload(const Recording &rec, ReplayCheckResult &result)
 
 /**
  * Shared tail: classify a replay that ran to completion — success on
- * a matched fingerprint, otherwise localize the divergence.
+ * a matched fingerprint, otherwise localize the divergence. For
+ * interval replays the reference is the expected fingerprint of
+ * I(start, stop), not the full recording's — the replayed stream only
+ * covers the commits inside the interval.
  */
 void
 classifyOutcome(const Recording &rec, const ReplayCheckOptions &opts,
@@ -59,9 +62,20 @@ classifyOutcome(const Recording &rec, const ReplayCheckOptions &opts,
         return;
     }
 
+    ExecutionFingerprint expected = rec.fingerprint;
+    if (opts.startCheckpoint != ReplayCheckOptions::kFullRun) {
+        const SystemCheckpoint &start =
+            rec.checkpoints[opts.startCheckpoint];
+        expected =
+            opts.stopCheckpoint != ReplayCheckOptions::kFullRun
+                ? rec.fingerprintBetween(
+                      &start, rec.checkpoints[opts.stopCheckpoint])
+                : rec.fingerprintFromCheckpoint(start);
+    }
+
     LocalizerOptions lopts;
     lopts.period = opts.localizerPeriod;
-    result.report = localizeDivergence(rec.fingerprint,
+    result.report = localizeDivergence(expected,
                                        result.outcome.fingerprint, &rec,
                                        lopts);
     if (result.report.ok()) {
@@ -109,6 +123,32 @@ checkedReplay(const Recording &rec, const ReplayCheckOptions &opts)
         opts.maxEvents
             ? opts.maxEvents
             : defaultReplayEventBudget(rec, eopts.replayWindow);
+    if (opts.startCheckpoint != ReplayCheckOptions::kFullRun) {
+        if (opts.startCheckpoint >= rec.checkpoints.size()) {
+            result.report.kind = DivergenceKind::kFormatError;
+            result.report.message =
+                "start checkpoint index "
+                + std::to_string(opts.startCheckpoint)
+                + " out of range (recording has "
+                + std::to_string(rec.checkpoints.size())
+                + " checkpoints)";
+            return result;
+        }
+        eopts.startCheckpoint = &rec.checkpoints[opts.startCheckpoint];
+    }
+    if (opts.stopCheckpoint != ReplayCheckOptions::kFullRun) {
+        if (opts.stopCheckpoint >= rec.checkpoints.size()
+            || opts.startCheckpoint == ReplayCheckOptions::kFullRun
+            || opts.stopCheckpoint <= opts.startCheckpoint) {
+            result.report.kind = DivergenceKind::kFormatError;
+            result.report.message =
+                "stop checkpoint index "
+                + std::to_string(opts.stopCheckpoint)
+                + " is not a later checkpoint than the start";
+            return result;
+        }
+        eopts.stopCheckpoint = &rec.checkpoints[opts.stopCheckpoint];
+    }
 
     try {
         ChunkEngine engine(*workload, rec.machine, rec.mode, eopts);

@@ -45,6 +45,19 @@ struct ReplayCheckOptions
     /// derived event budget scales with this so a stalled parallel
     /// replay still fails in milliseconds.
     unsigned replayWindow = 1;
+
+    static constexpr std::size_t kFullRun =
+        static_cast<std::size_t>(-1);
+    /// Replay only I(checkpoints[startCheckpoint].gcc, ...) instead
+    /// of the whole run (interval replay, Appendix B). Index into
+    /// Recording::checkpoints; kFullRun replays from the start. The
+    /// divergence classification then compares against the expected
+    /// interval fingerprint, not the full recording's.
+    std::size_t startCheckpoint = kFullRun;
+    /// Bound the interval at checkpoints[stopCheckpoint].gcc (must be
+    /// greater than startCheckpoint). kFullRun runs to program end.
+    /// Only meaningful for the serial engine (checkedReplay).
+    std::size_t stopCheckpoint = kFullRun;
 };
 
 /** Outcome of a checked replay. */

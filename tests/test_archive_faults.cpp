@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Archive-corruption fault sweep (fuzz tier).
+ *
+ * The acceptance gate for the store subsystem: >= 500 mutated
+ * archives across the recording modes must each be *detected* — a
+ * typed ArchiveError naming the failing section (and segment id for
+ * payload damage), a rejection from validateRecording, an identical
+ * replay (mutation hit dead bytes), or a structured divergence —
+ * never a crash, a hang, or a silent wrong answer. Runs under the
+ * `fuzz` ctest label.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/recorder.hpp"
+#include "store/archive.hpp"
+#include "validate/fault_injector.hpp"
+
+namespace delorean
+{
+namespace
+{
+
+constexpr std::uint64_t kSeed = 20080621;
+// 60 mutants x 3 kinds x 3 modes = 540 total, over the gate's 500.
+constexpr unsigned kMutantsPerKind = 60;
+
+Recording
+record(const ModeConfig &mode, std::uint64_t checkpoint_period = 25)
+{
+    MachineConfig machine;
+    machine.numProcs = 4;
+    const Workload workload("fft", machine.numProcs, kSeed,
+                            WorkloadScale{10});
+    return Recorder(mode, machine)
+        .record(workload, /*env_seed=*/1, true, {}, checkpoint_period);
+}
+
+std::vector<std::uint8_t>
+archive(const Recording &rec)
+{
+    std::ostringstream out(std::ios::binary);
+    writeArchive(rec, out);
+    const std::string s = std::move(out).str();
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+class ArchiveFaultSweep : public testing::TestWithParam<int>
+{
+  protected:
+    static std::pair<const char *, ModeConfig>
+    current()
+    {
+        switch (GetParam()) {
+          case 0:
+            return {"order-and-size", ModeConfig::orderAndSize()};
+          case 1: {
+            ModeConfig strat = ModeConfig::orderOnly();
+            strat.stratifyChunksPerProc = 4;
+            return {"order-only-strat", strat};
+          }
+          default:
+            return {"picolog", ModeConfig::picoLog()};
+        }
+    }
+};
+
+TEST_P(ArchiveFaultSweep, MutantsNeverCrashHangOrLie)
+{
+    const auto [name, mode] = current();
+    const Recording rec = record(mode);
+    ASSERT_GE(rec.checkpoints.size(), 1u) << name;
+    const ArchiveFaultSweepSummary sweep =
+        runArchiveFaultSweep(rec, kMutantsPerKind, /*seed0=*/kSeed);
+    EXPECT_EQ(sweep.total, kMutantsPerKind * kArchiveMutationKinds);
+    EXPECT_TRUE(sweep.ok()) << name << ": " << sweep.describe();
+    // The sweep must exercise both sides of the contract: most
+    // mutants caught by the integrity layers, and at least some
+    // surviving to a replay verdict (index-corrupt mutants that hit
+    // dead footer bytes, e.g. a statistics field).
+    EXPECT_GT(sweep.rejectedAtLoad, 0u) << name;
+    EXPECT_GT(sweep.replayedIdentically + sweep.divergenceDetected
+                  + sweep.replayErrorReported,
+              0u)
+        << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ArchiveFaultSweep, testing::Range(0, 3));
+
+/**
+ * Corruption taxonomy: every mutation class must produce its expected
+ * typed error. Payload damage names the segment; footer truncation
+ * names the trailer or footer; a lying index is caught by the
+ * semantic cross-checks or the segment-header comparison.
+ */
+TEST(ArchiveFaults, SegmentBitFlipNamesTheSegment)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const std::vector<std::uint8_t> bytes = archive(rec);
+    const ArchiveReader intact = ArchiveReader::fromBytes(bytes);
+
+    unsigned typed = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const ArchiveMutantResult r = runArchiveMutant(
+            bytes, ArchiveMutationKind::kSegmentBitFlip, seed);
+        ASSERT_NE(r.outcome, MutantOutcome::kUnexpected)
+            << "seed " << seed << ": " << r.message;
+        if (r.outcome == MutantOutcome::kRejectedAtLoad
+            && r.typedArchiveError) {
+            // A payload flip is caught by the per-segment CRC and
+            // must name a real segment.
+            EXPECT_LT(r.segment, intact.segments().size())
+                << "seed " << seed << ": " << r.message;
+            ++typed;
+        }
+    }
+    // CRC-32 catches essentially every payload flip; allow a little
+    // slack for flips that land in a segment's dead bytes.
+    EXPECT_GE(typed, 35u);
+}
+
+TEST(ArchiveFaults, FooterTruncationIsATrailerOrFooterError)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const std::vector<std::uint8_t> bytes = archive(rec);
+
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const std::vector<std::uint8_t> mutant = mutateArchive(
+            bytes, ArchiveMutationKind::kFooterTruncate, seed);
+        try {
+            ArchiveReader::fromBytes(mutant);
+            FAIL() << "seed " << seed
+                   << ": truncated footer parsed successfully";
+        } catch (const ArchiveError &e) {
+            EXPECT_TRUE(e.section() == ArchiveSection::kTrailer
+                        || e.section() == ArchiveSection::kFooter)
+                << "seed " << seed << ": " << e.what();
+        }
+    }
+}
+
+TEST(ArchiveFaults, IndexCorruptionNeverEscapesDetection)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const std::vector<std::uint8_t> bytes = archive(rec);
+
+    unsigned rejected = 0;
+    unsigned survived = 0;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        const ArchiveMutantResult r = runArchiveMutant(
+            bytes, ArchiveMutationKind::kIndexCorrupt, seed);
+        ASSERT_NE(r.outcome, MutantOutcome::kUnexpected)
+            << "seed " << seed << ": " << r.message;
+        if (r.outcome == MutantOutcome::kRejectedAtLoad)
+            ++rejected;
+        else
+            ++survived;
+    }
+    // The recompressed-footer mutants pass the CRC layer by
+    // construction, so every rejection here came from a semantic
+    // cross-check (segment-header comparison, config validation,
+    // checkpoint/GCC agreement, ...). Both buckets must be hit.
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GT(survived, 0u);
+}
+
+TEST(ArchiveFaults, MutationsAreDeterministic)
+{
+    const Recording rec = record(ModeConfig::picoLog());
+    const std::vector<std::uint8_t> bytes = archive(rec);
+    for (unsigned k = 0; k < kArchiveMutationKinds; ++k) {
+        const auto kind = static_cast<ArchiveMutationKind>(k);
+        EXPECT_EQ(mutateArchive(bytes, kind, 7),
+                  mutateArchive(bytes, kind, 7))
+            << archiveMutationKindName(kind);
+        EXPECT_NE(mutateArchive(bytes, kind, 7), bytes)
+            << archiveMutationKindName(kind);
+    }
+}
+
+TEST(ArchiveFaults, SweepAccountingAddsUp)
+{
+    const Recording rec = record(ModeConfig::orderOnly(), 40);
+    const ArchiveFaultSweepSummary sweep =
+        runArchiveFaultSweep(rec, 4, 99);
+    EXPECT_EQ(sweep.total, 4u * kArchiveMutationKinds);
+    EXPECT_EQ(sweep.total,
+              sweep.rejectedAtLoad + sweep.replayedIdentically
+                  + sweep.divergenceDetected + sweep.replayErrorReported
+                  + sweep.unexpected);
+    EXPECT_EQ(sweep.unexpectedResults.size(), sweep.unexpected);
+    EXPECT_FALSE(sweep.describe().empty());
+}
+
+} // namespace
+} // namespace delorean

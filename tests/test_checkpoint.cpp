@@ -128,5 +128,100 @@ TEST(Checkpoint, LaterCheckpointMeansShorterReplay)
     EXPECT_GT(late.fingerprint.commits.size(), 0u);
 }
 
+TEST(Checkpoint, PeriodicGccsBoundaries)
+{
+    // period 0 disables periodic checkpoints entirely.
+    EXPECT_TRUE(periodicCheckpointGccs(0, 0).empty());
+    EXPECT_TRUE(periodicCheckpointGccs(1000, 0).empty());
+    // A period beyond the expected commit count never fires.
+    EXPECT_TRUE(periodicCheckpointGccs(9, 10).empty());
+    EXPECT_TRUE(periodicCheckpointGccs(0, 1).empty());
+    // An endpoint that is an exact multiple is included...
+    EXPECT_EQ(periodicCheckpointGccs(10, 10),
+              (std::vector<std::uint64_t>{10}));
+    EXPECT_EQ(periodicCheckpointGccs(30, 10),
+              (std::vector<std::uint64_t>{10, 20, 30}));
+    // ...and a non-multiple endpoint rounds down.
+    EXPECT_EQ(periodicCheckpointGccs(29, 10),
+              (std::vector<std::uint64_t>{10, 20}));
+    // period 1 checkpoints after every commit, starting at GCC 1.
+    EXPECT_EQ(periodicCheckpointGccs(3, 1),
+              (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Checkpoint, PeriodicRecordingTakesCheckpoints)
+{
+    Workload w("fft", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 25);
+    ASSERT_GE(rec.checkpoints.size(), 2u);
+    for (std::size_t i = 0; i < rec.checkpoints.size(); ++i)
+        EXPECT_EQ(rec.checkpoints[i].gcc, (i + 1) * 25u);
+    // An explicit GCC that collides with a periodic one yields a
+    // single checkpoint, not a duplicate.
+    const Recording both = recorder.record(w, 1, true, {25}, 25);
+    ASSERT_GE(both.checkpoints.size(), 1u);
+    EXPECT_EQ(both.checkpoints[0].gcc, 25u);
+    if (both.checkpoints.size() > 1) {
+        EXPECT_EQ(both.checkpoints[1].gcc, 50u);
+    }
+}
+
+TEST(Checkpoint, IntervalReplayStratifiedMode)
+{
+    ModeConfig mode = ModeConfig::orderOnly();
+    mode.stratifyChunksPerProc = 4;
+    Workload w("radix", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(mode, machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 20);
+    ASSERT_TRUE(rec.stratified());
+    ASSERT_GE(rec.checkpoints.size(), 1u);
+    Replayer replayer;
+    for (std::size_t i = 0; i < rec.checkpoints.size(); ++i) {
+        const ReplayOutcome out =
+            replayer.replayInterval(rec, i, w, 7, perturb(i + 2));
+        // Stratified replay may reorder commits within a stratum, so
+        // determinism is judged per processor (matchesPerProc).
+        EXPECT_TRUE(out.deterministicPerProc) << "checkpoint " << i;
+    }
+}
+
+TEST(Checkpoint, BoundedIntervalReplayStopsAtCheckpoint)
+{
+    Workload w("ocean", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {10, 40});
+    ASSERT_EQ(rec.checkpoints.size(), 2u);
+    Replayer replayer;
+    // Replay only I(10, 40): stop once GCC 40 commits.
+    const ReplayOutcome out = replayer.replayInterval(
+        rec, 0, w, 11, perturb(5), &rec.checkpoints[1]);
+    EXPECT_TRUE(out.deterministicExact);
+    EXPECT_EQ(out.fingerprint.commits.size(), 30u);
+    // The bounded replay retires strictly less work than the
+    // unbounded one from the same checkpoint.
+    const ReplayOutcome full =
+        replayer.replayInterval(rec, 0, w, 11, perturb(5));
+    EXPECT_TRUE(full.deterministicExact);
+    EXPECT_LT(out.stats.retiredInstrs, full.stats.retiredInstrs);
+}
+
+TEST(Checkpoint, BoundedIntervalFromStartOfRun)
+{
+    // A bounded replay with no start checkpoint: I(0, m).
+    Workload w("fmm", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {30});
+    ASSERT_EQ(rec.checkpoints.size(), 1u);
+    EngineOptions opts;
+    opts.replay = true;
+    opts.envSeed = 19;
+    opts.stopCheckpoint = &rec.checkpoints[0];
+    ChunkEngine engine(w, rec.machine, rec.mode, opts);
+    const ReplayOutcome out = engine.replay(rec);
+    EXPECT_TRUE(out.deterministicExact);
+    EXPECT_EQ(out.fingerprint.commits.size(), 30u);
+}
+
 } // namespace
 } // namespace delorean

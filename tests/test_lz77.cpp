@@ -116,5 +116,98 @@ TEST(Lz77, CustomWindowConfig)
     EXPECT_EQ(codec.decompress(codec.compress(input)), input);
 }
 
+TEST(Lz77, MalformedStreamsRejected)
+{
+    Lz77 codec;
+    // Truncated header.
+    EXPECT_THROW(codec.decompress({0x01, 0x02}), RecordingFormatError);
+    // Implausible size header: claims 2^40 bytes from an 8-byte input.
+    std::vector<std::uint8_t> huge(16, 0);
+    huge[5] = 0x01; // size = 1 << 40
+    EXPECT_THROW(codec.decompress(huge), RecordingFormatError);
+    // First token is a match: distance reaches before output start.
+    BitWriter w;
+    w.write(4, 64); // claim 4 output bytes
+    w.write(1, 1);  // match token
+    w.write(0, Lz77Config{}.windowBits); // dist 1 into empty output
+    w.write(0, 8);
+    EXPECT_THROW(codec.decompress(w.bytes()), RecordingFormatError);
+}
+
+TEST(Lz77Stream, EmptyInput)
+{
+    Lz77 codec;
+    Lz77Stream stream;
+    EXPECT_EQ(stream.rawBytes(), 0u);
+    const auto bytes = stream.finish();
+    EXPECT_EQ(bytes, codec.compress({}));
+    EXPECT_EQ(codec.decompress(bytes), std::vector<std::uint8_t>{});
+}
+
+TEST(Lz77Stream, MatchesOneShotForRandomPartitions)
+{
+    Lz77 codec;
+    Xoshiro256ss rng(23);
+    for (int trial = 0; trial < 12; ++trial) {
+        // Mixture of random and repeated content, as in the one-shot
+        // randomized test, so matches straddle append boundaries.
+        std::vector<std::uint8_t> input(500 + rng.below(8000));
+        for (auto &b : input)
+            b = rng.chancePerMille(600)
+                    ? static_cast<std::uint8_t>(rng.below(4))
+                    : static_cast<std::uint8_t>(rng.next());
+
+        Lz77Stream stream;
+        std::size_t fed = 0;
+        while (fed < input.size()) {
+            // Chunk sizes from 0 (empty append) to ~1/3 the input.
+            const std::size_t chunk = std::min<std::size_t>(
+                input.size() - fed, rng.below(input.size() / 3 + 2));
+            stream.append(input.data() + fed, chunk);
+            fed += chunk;
+        }
+        EXPECT_EQ(stream.rawBytes(), input.size());
+        const auto streamed = stream.finish();
+        ASSERT_EQ(streamed, codec.compress(input)) << "trial " << trial;
+        ASSERT_EQ(codec.decompress(streamed), input);
+    }
+}
+
+TEST(Lz77Stream, IncompressibleInput)
+{
+    Lz77 codec;
+    Xoshiro256ss rng(7);
+    std::vector<std::uint8_t> input(6000);
+    for (auto &b : input)
+        b = static_cast<std::uint8_t>(rng.next());
+    Lz77Stream stream;
+    for (std::size_t i = 0; i < input.size(); i += 617)
+        stream.append(input.data() + i,
+                      std::min<std::size_t>(617, input.size() - i));
+    const auto streamed = stream.finish();
+    EXPECT_EQ(streamed, codec.compress(input));
+    EXPECT_EQ(codec.decompress(streamed), input);
+}
+
+TEST(Lz77Stream, LongInputCrossesCompaction)
+{
+    // Large enough that the stream's window compaction fires several
+    // times; output must still match the one-shot encoder exactly.
+    Lz77 codec;
+    std::vector<std::uint8_t> input;
+    Xoshiro256ss rng(41);
+    for (int i = 0; i < 600000; ++i)
+        input.push_back(rng.chancePerMille(850)
+                            ? static_cast<std::uint8_t>(i % 251)
+                            : static_cast<std::uint8_t>(rng.next()));
+    Lz77Stream stream;
+    for (std::size_t i = 0; i < input.size(); i += 10007)
+        stream.append(input.data() + i,
+                      std::min<std::size_t>(10007, input.size() - i));
+    const auto streamed = stream.finish();
+    ASSERT_EQ(streamed, codec.compress(input));
+    ASSERT_EQ(codec.decompress(streamed), input);
+}
+
 } // namespace
 } // namespace delorean

@@ -17,6 +17,12 @@
  *   --env S          environment seed       (default 1)
  *   --stratify N     chunks/proc/stratum    (default off)
  *   --perturb        enable replay perturbation
+ *   --checkpoint-period N   system checkpoint every N global commits
+ *   --archive-out FILE      write a segmented archive (.dla) too;
+ *                           implies --checkpoint-period 50 if unset
+ *
+ * replay/inspect accept either a serialized recording or an archive
+ * (detected by magic); an archive is reassembled via readAll().
  */
 
 #include <cstdio>
@@ -26,6 +32,7 @@
 
 #include "core/delorean.hpp"
 #include "core/serialize.hpp"
+#include "store/archive.hpp"
 
 using namespace delorean;
 
@@ -45,6 +52,8 @@ struct Args
     std::uint64_t env = 1;
     unsigned stratify = 0;
     bool perturb = false;
+    std::string archiveFile;
+    std::uint64_t checkpointPeriod = 0;
 };
 
 [[noreturn]] void
@@ -53,7 +62,8 @@ usage()
     std::fprintf(stderr,
                  "usage: delorean_sim record <app> [--mode M] [--procs N]"
                  " [--chunk N] [--scale P] [--seed S] [--env S]"
-                 " [--stratify N] [-o FILE]\n"
+                 " [--stratify N] [--checkpoint-period N]"
+                 " [-o FILE] [--archive-out FILE]\n"
                  "       delorean_sim replay <FILE> [--env S] [--perturb]\n"
                  "       delorean_sim inspect <FILE>\n"
                  "       delorean_sim compare <app> [--procs N] [--scale P]\n"
@@ -116,6 +126,10 @@ parse(int argc, char **argv)
             args.stratify = static_cast<unsigned>(std::atoi(next()));
         else if (flag == "-o")
             args.file = next();
+        else if (flag == "--archive-out")
+            args.archiveFile = next();
+        else if (flag == "--checkpoint-period")
+            args.checkpointPeriod = std::strtoull(next(), nullptr, 10);
         else if (flag == "--perturb")
             args.perturb = true;
         else
@@ -154,8 +168,14 @@ cmdRecord(const Args &args)
     machine.numProcs = args.procs;
     Workload workload(args.app, args.procs, args.seed,
                       WorkloadScale{args.scale});
+    // Archiving needs checkpoints to cut segments at; default a
+    // period when the user asked for an archive but no cadence.
+    std::uint64_t period = args.checkpointPeriod;
+    if (!args.archiveFile.empty() && period == 0)
+        period = 50;
     Recorder recorder(modeFor(args), machine);
-    const Recording rec = recorder.record(workload, args.env);
+    const Recording rec =
+        recorder.record(workload, args.env, true, {}, period);
 
     std::printf("recorded %s in %s mode:\n", args.app.c_str(),
                 execModeName(rec.mode.mode));
@@ -165,17 +185,36 @@ cmdRecord(const Args &args)
                 "(%.3f compressed)\n",
                 sizes.bitsPerProcPerKiloInstr(false),
                 sizes.bitsPerProcPerKiloInstr(true));
+    if (period)
+        std::printf("  checkpoints:      %zu (every %llu commits)\n",
+                    rec.checkpoints.size(),
+                    static_cast<unsigned long long>(period));
     if (!args.file.empty()) {
         saveRecordingFile(rec, args.file);
         std::printf("  saved to:         %s\n", args.file.c_str());
     }
+    if (!args.archiveFile.empty()) {
+        writeArchiveFile(rec, args.archiveFile);
+        std::printf("  archived to:      %s (%zu segments)\n",
+                    args.archiveFile.c_str(),
+                    rec.checkpoints.size() + 1);
+    }
     return 0;
+}
+
+/** Loads either container: archive (by magic sniff) or recording. */
+Recording
+loadAny(const std::string &path)
+{
+    if (ArchiveReader::fileLooksLikeArchive(path))
+        return ArchiveReader::fromFile(path).readAll();
+    return loadRecordingFile(path);
 }
 
 int
 cmdReplay(const Args &args)
 {
-    const Recording rec = loadRecordingFile(args.file);
+    const Recording rec = loadAny(args.file);
     std::printf("replaying %s (%s, %u procs, seed %llu)...\n",
                 rec.appName.c_str(), execModeName(rec.mode.mode),
                 rec.machine.numProcs,
@@ -196,7 +235,7 @@ cmdReplay(const Args &args)
 int
 cmdInspect(const Args &args)
 {
-    const Recording rec = loadRecordingFile(args.file);
+    const Recording rec = loadAny(args.file);
     std::printf("recording: %s, %s mode, %u procs, chunk %llu, "
                 "workload seed %llu\n",
                 rec.appName.c_str(), execModeName(rec.mode.mode),

@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "common/errors.hpp"
 #include "core/recorder.hpp"
 #include "core/serialize.hpp"
+#include "store/archive.hpp"
 #include "trace/app_profile.hpp"
 #include "trace/workload.hpp"
 #include "validate/differential.hpp"
@@ -74,12 +76,30 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: replay_check [--jobs <n>] <file>\n"
+        "usage: replay_check [--jobs <n>] [--from <gcc> [--to <gcc>]] "
+        "<file>\n"
         "       replay_check --record <app> <mode> <file>\n"
+        "       replay_check --list-checkpoints <file>\n"
         "       replay_check [--jobs <n>] --differential [<app>|all]\n"
         "       replay_check --fault-sweep <app> [<mutants-per-kind>]\n"
-        "modes: order-and-size order-only order-only-strat picolog\n");
+        "modes: order-and-size order-only order-only-strat picolog\n"
+        "<file> may be a serialized recording (.dlr) or an archive\n"
+        "(.dla, auto-detected by magic). --from/--to replay only the\n"
+        "interval between the named checkpoint GCCs (Appendix B); use\n"
+        "--list-checkpoints to see the seekable GCCs.\n");
     return 2;
+}
+
+const char *
+modeLabel(const Recording &rec)
+{
+    if (rec.stratified())
+        return "order-only-strat";
+    if (rec.mode.mode == ExecMode::kPicoLog)
+        return "picolog";
+    if (rec.mode.mode == ExecMode::kOrderOnly)
+        return "order-only";
+    return "order-and-size";
 }
 
 bool
@@ -143,6 +163,163 @@ doRecord(const std::string &app, const std::string &mode_name,
     return 0;
 }
 
+/**
+ * Maps a --from/--to GCC to its checkpoint index; prints the seekable
+ * GCCs and returns nullopt when @p gcc is not one of them (interval
+ * replay can only start/stop where a SystemCheckpoint was taken).
+ */
+std::optional<std::size_t>
+checkpointIndexFor(const std::vector<std::uint64_t> &gccs,
+                   std::uint64_t gcc, const char *flag)
+{
+    for (std::size_t i = 0; i < gccs.size(); ++i)
+        if (gccs[i] == gcc)
+            return i;
+    std::fprintf(stderr,
+                 "replay_check: %s %llu is not a checkpoint GCC; "
+                 "seekable GCCs:",
+                 flag, static_cast<unsigned long long>(gcc));
+    for (const std::uint64_t g : gccs)
+        std::fprintf(stderr, " %llu",
+                     static_cast<unsigned long long>(g));
+    std::fprintf(stderr, "\n");
+    return std::nullopt;
+}
+
+int
+doListCheckpoints(const std::string &path)
+{
+    try {
+        if (ArchiveReader::fileLooksLikeArchive(path)) {
+            const ArchiveReader reader = ArchiveReader::fromFile(path);
+            std::printf("%s: archive, %s, %u procs, %zu segment(s), "
+                        "%zu checkpoint(s)\n",
+                        path.c_str(), reader.appName().c_str(),
+                        reader.machine().numProcs,
+                        reader.segments().size(),
+                        reader.checkpointCount());
+            for (std::size_t i = 0; i < reader.segments().size();
+                 ++i) {
+                const ArchiveSegmentInfo &seg = reader.segments()[i];
+                std::printf("  segment %zu: gcc <= %llu, %llu -> %llu "
+                            "bytes%s\n",
+                            i,
+                            static_cast<unsigned long long>(
+                                seg.endGcc),
+                            static_cast<unsigned long long>(
+                                seg.rawBytes),
+                            static_cast<unsigned long long>(
+                                seg.compBytes),
+                            seg.hasCheckpoint
+                                ? ", checkpoint at end"
+                                : " (tail)");
+            }
+            return 0;
+        }
+        const Recording rec = loadRecordingFile(path);
+        std::printf("%s: recording, %s (%s), %u procs, "
+                    "%zu checkpoint(s)\n",
+                    path.c_str(), rec.appName.c_str(), modeLabel(rec),
+                    rec.machine.numProcs, rec.checkpoints.size());
+        for (std::size_t i = 0; i < rec.checkpoints.size(); ++i)
+            std::printf("  checkpoint %zu: gcc %llu\n", i,
+                        static_cast<unsigned long long>(
+                            rec.checkpoints[i].gcc));
+        return 0;
+    } catch (const RecordingFormatError &e) {
+        std::printf("%s: rejected at load\n  %s\n", path.c_str(),
+                    e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "replay_check: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+    }
+}
+
+/**
+ * Interval check (--from/--to). For an archive, only the covering
+ * segments are decoded (ArchiveReader::readInterval); for a plain
+ * recording the interval options select the checkpoint slice of the
+ * already-loaded log. Classification compares against the expected
+ * interval fingerprint, so exit status 0 means the interval replay
+ * reproduced the recorded execution over exactly I(from, to).
+ */
+int
+doCheckInterval(const std::string &path, std::uint64_t from_gcc,
+                std::optional<std::uint64_t> to_gcc)
+{
+    Recording rec;
+    ReplayCheckOptions opts;
+    try {
+        if (ArchiveReader::fileLooksLikeArchive(path)) {
+            const ArchiveReader reader = ArchiveReader::fromFile(path);
+            const std::vector<std::uint64_t> gccs =
+                reader.checkpointGccs();
+            const auto from =
+                checkpointIndexFor(gccs, from_gcc, "--from");
+            if (!from)
+                return 2;
+            std::optional<std::size_t> to;
+            if (to_gcc) {
+                to = checkpointIndexFor(gccs, *to_gcc, "--to");
+                if (!to)
+                    return 2;
+            }
+            rec = reader.readInterval(*from, to ? *to
+                                                : ArchiveReader::kToEnd);
+            // readInterval puts the start checkpoint at index 0 and
+            // the stop (when bounded) at index 1.
+            opts.startCheckpoint = 0;
+            opts.stopCheckpoint =
+                to ? 1 : ReplayCheckOptions::kFullRun;
+        } else {
+            rec = loadRecordingFile(path);
+            std::vector<std::uint64_t> gccs;
+            for (const SystemCheckpoint &c : rec.checkpoints)
+                gccs.push_back(c.gcc);
+            const auto from =
+                checkpointIndexFor(gccs, from_gcc, "--from");
+            if (!from)
+                return 2;
+            opts.startCheckpoint = *from;
+            if (to_gcc) {
+                const auto to =
+                    checkpointIndexFor(gccs, *to_gcc, "--to");
+                if (!to)
+                    return 2;
+                opts.stopCheckpoint = *to;
+            }
+        }
+    } catch (const RecordingFormatError &e) {
+        std::printf("%s: rejected at load\n  %s\n", path.c_str(),
+                    e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "replay_check: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+    }
+
+    const ReplayCheckResult check = checkedReplay(rec, opts);
+    if (!check.ok) {
+        std::printf("%s: %s\n%s\n", path.c_str(),
+                    divergenceKindName(check.report.kind),
+                    check.report.describe().c_str());
+        return 1;
+    }
+    const std::string to_label =
+        to_gcc ? std::to_string(*to_gcc) : std::string("end");
+    std::printf("%s: interval replay deterministic over I(%llu, %s) "
+                "(%s, %s, %u procs, %zu commits replayed)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(from_gcc),
+                to_label.c_str(), rec.appName.c_str(), modeLabel(rec),
+                rec.machine.numProcs,
+                check.outcome.fingerprint.commits.size());
+    return 0;
+}
+
 int
 doCheckFile(const std::string &path, unsigned jobs)
 {
@@ -154,8 +331,12 @@ doCheckFile(const std::string &path, unsigned jobs)
     }
 
     Recording rec;
+    const bool is_archive = ArchiveReader::fileLooksLikeArchive(path);
     try {
-        rec = loadRecording(in);
+        if (is_archive)
+            rec = ArchiveReader::fromFile(path).readAll();
+        else
+            rec = loadRecording(in);
     } catch (const RecordingFormatError &e) {
         std::printf("%s: rejected at load\n  %s\n", path.c_str(),
                     e.what());
@@ -192,15 +373,9 @@ doCheckFile(const std::string &path, unsigned jobs)
     }
 
     std::printf("%s: replay deterministic, serial == parallel "
-                "(%s, %s, %u procs, %zu commits)\n",
-                path.c_str(), rec.appName.c_str(),
-                rec.stratified()
-                    ? "order-only-strat"
-                    : (rec.mode.mode == ExecMode::kPicoLog
-                           ? "picolog"
-                           : (rec.mode.mode == ExecMode::kOrderOnly
-                                  ? "order-only"
-                                  : "order-and-size")),
+                "(%s%s, %s, %u procs, %zu commits)\n",
+                path.c_str(), is_archive ? "archive, " : "",
+                rec.appName.c_str(), modeLabel(rec),
                 rec.machine.numProcs,
                 rec.fingerprint.commits.size());
     return 0;
@@ -292,9 +467,40 @@ main(int argc, char **argv)
     if (jobs)
         setenv("DELOREAN_JOBS", std::to_string(jobs).c_str(), 1);
 
+    // --from <gcc> [--to <gcc>]: checkpoint-bounded interval replay.
+    std::optional<std::uint64_t> from_gcc;
+    std::optional<std::uint64_t> to_gcc;
+    for (const char *flag : {"--from", "--to"}) {
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (args[i] != flag)
+                continue;
+            if (i + 1 >= args.size())
+                return usage();
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(args[i + 1].c_str(), &end, 10);
+            if (end == args[i + 1].c_str() || *end != '\0')
+                return usage();
+            (std::strcmp(flag, "--from") == 0 ? from_gcc : to_gcc) = v;
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i)
+                           + 2);
+            break;
+        }
+    }
+    if (to_gcc && !from_gcc)
+        return usage();
+
     if (args.empty())
         return usage();
 
+    if (args[0] == "--list-checkpoints")
+        return args.size() == 2 ? doListCheckpoints(args[1]) : usage();
+    if (from_gcc) {
+        if (args.size() != 1 || args[0][0] == '-')
+            return usage();
+        return doCheckInterval(args[0], *from_gcc, to_gcc);
+    }
     if (args[0] == "--record")
         return args.size() == 4 ? doRecord(args[1], args[2], args[3])
                                 : usage();
