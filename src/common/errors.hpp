@@ -60,6 +60,23 @@ class BitstreamExhausted : public RecordingFormatError
     }
 };
 
+/**
+ * A user-supplied configuration is invalid before any recording
+ * exists: an out-of-range shard (arbiter) count, a processor count
+ * the address layout cannot host, and similar construction-time
+ * rejections. Distinct from RecordingFormatError, which covers
+ * malformed *serialized* data — the fault-injection contract depends
+ * on the loader raising only RecordingFormatError.
+ */
+class ConfigError : public DeloreanError
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : DeloreanError("config error: " + what)
+    {
+    }
+};
+
 /** Replay could not follow the recording (divergence, not a bug). */
 class ReplayError : public DeloreanError
 {

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cstddef>
@@ -51,6 +52,14 @@ ChunkEngine::ChunkEngine(const Workload &workload,
       procs_(n_)
 {
     assert(workload.numProcs() == n_);
+    shards_ = machine_.bulk.numArbiters;
+    if (shards_ < 1 || shards_ > 64 || (shards_ & (shards_ - 1)) != 0)
+        throw ConfigError("numArbiters must be a power of two in "
+                          "[1, 64], got "
+                          + std::to_string(shards_));
+    if (n_ < 1 || n_ > 64)
+        throw ConfigError("numProcs must be in [1, 64], got "
+                          + std::to_string(n_));
     if (const char *env = std::getenv("DELOREAN_NO_SUMMARY_FILTER"))
         summary_filter_ = !(*env && *env != '0');
     proc_unions_.resize(n_);
@@ -105,6 +114,17 @@ ChunkEngine::record()
 
     const unsigned slots = machine_.bulk.maxConcurrentCommits;
     slot_busy_until_.assign(slots, 0);
+    if (shards_ > 1 && mode_.mode != ExecMode::kPicoLog) {
+        // Sharded arbiter hierarchy: one slot pool per address shard
+        // plus the root arbiter's single cross-shard slot. The flat PI
+        // log then records each commit's shard mask, turning the log
+        // into a partial order (PicoLog keeps the token-serialized
+        // global pool — its commit order is predefined, not logged).
+        shard_slot_busy_.assign(shards_, std::vector<Cycle>(slots, 0));
+        root_slot_busy_ = 0;
+        if (opts_.logging && !stratifier_)
+            rec.pi.enableMasks(shards_);
+    }
 
     for (ProcId p = 0; p < n_; ++p)
         tryStartChunk(p, 0);
@@ -151,10 +171,24 @@ ChunkEngine::replay(const Recording &prior)
     prior_ = &prior;
 
     if (mode_.mode != ExecMode::kPicoLog) {
-        if (prior.stratified())
+        if (prior.stratified()) {
             strata_cursor_ = std::make_unique<StrataCursor>(prior.strata, n_);
-        else
+        } else if (prior.pi.hasMasks() && opts_.honorPartialOrder
+                   && !opts_.startCheckpoint && !opts_.stopCheckpoint) {
+            // Partial-order replay: honor exactly the recorded
+            // per-shard orders plus per-processor program order.
+            // Interval replay stays on the total-order cursor — its
+            // checkpoint-aligned GCC arithmetic needs the log's own
+            // linearization, which is always a valid schedule.
+            po_cursor_ = std::make_unique<PartialOrderCursor>(
+                prior.pi, n_, prior.machine.bulk.numArbiters);
+            // Out-of-order retires fill the fingerprint positionally
+            // so it stays byte-identical to an in-order replay's.
+            fp_.commits.resize(po_cursor_->chunkEntryCount());
+            po_fp_pos_.assign(n_, 0);
+        } else {
             pi_cursor_ = std::make_unique<PiLogCursor>(prior.pi);
+        }
     }
 
     cs_lookup_.resize(n_);
@@ -930,6 +964,14 @@ ChunkEngine::rebuildProcUnion(ProcId p)
 unsigned
 ChunkEngine::freeSlots(Cycle now) const
 {
+    if (shardedRecord()) {
+        unsigned free = 0;
+        for (const auto &pool : shard_slot_busy_)
+            for (const Cycle busy : pool)
+                if (busy <= now)
+                    ++free;
+        return free;
+    }
     unsigned free = 0;
     for (const Cycle busy : slot_busy_until_)
         if (busy <= now)
@@ -940,7 +982,75 @@ ChunkEngine::freeSlots(Cycle now) const
 unsigned
 ChunkEngine::busySlots(Cycle now) const
 {
-    return static_cast<unsigned>(slot_busy_until_.size()) - freeSlots(now);
+    const unsigned total =
+        shardedRecord()
+            ? shards_ * machine_.bulk.maxConcurrentCommits
+            : static_cast<unsigned>(slot_busy_until_.size());
+    return total - freeSlots(now);
+}
+
+std::uint64_t
+ChunkEngine::chunkShardMask(EngineChunk &c) const
+{
+    ChunkExtra &x = c.extra;
+    if (!x.shardMaskValid) {
+        std::uint64_t m = 0;
+        for (const Addr line : x.linesRead)
+            m |= 1ull << Signature::shardOf(line, shards_);
+        for (const Addr line : x.linesWritten)
+            m |= 1ull << Signature::shardOf(line, shards_);
+        // A chunk touching no lines conflicts with nothing; park it in
+        // shard 0 so every logged mask is non-empty.
+        x.shardMask = m == 0 ? 1 : m;
+        x.shardMaskValid = true;
+    }
+    return x.shardMask;
+}
+
+std::uint64_t
+ChunkEngine::dmaShardMask(const DmaTransfer &xfer) const
+{
+    std::uint64_t m = 0;
+    for (const Addr word : xfer.wordAddrs)
+        m |= 1ull << Signature::shardOf(lineOf(word), shards_);
+    return m == 0 ? 1 : m;
+}
+
+bool
+ChunkEngine::canOccupyShards(std::uint64_t mask, Cycle now) const
+{
+    if (std::popcount(mask) > 1 && root_slot_busy_ > now)
+        return false;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        const auto &pool =
+            shard_slot_busy_[static_cast<unsigned>(std::countr_zero(m))];
+        bool free = false;
+        for (const Cycle busy : pool)
+            if (busy <= now) {
+                free = true;
+                break;
+            }
+        if (!free)
+            return false;
+    }
+    return true;
+}
+
+void
+ChunkEngine::occupyShards(std::uint64_t mask, Cycle now, Cycle occupancy)
+{
+    if (std::popcount(mask) > 1)
+        root_slot_busy_ = now + occupancy;
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        auto &pool =
+            shard_slot_busy_[static_cast<unsigned>(std::countr_zero(m))];
+        for (Cycle &busy : pool)
+            if (busy <= now) {
+                busy = now + occupancy;
+                break;
+            }
+    }
+    schedule(now + occupancy, EvKind::kCommitFinish, 0, 0);
 }
 
 ChunkEngine::EngineChunk *
@@ -994,6 +1104,8 @@ ChunkEngine::dmaDueForReplay() const
         return gcc_ == prior_->dma.slotAt(dma_replay_idx_);
     if (strata_cursor_)
         return strata_cursor_->isDmaSlot();
+    if (po_cursor_)
+        return po_cursor_->dmaReady();
     return !pi_cursor_->atEnd() && pi_cursor_->peek() == kDmaProcId;
 }
 
@@ -1019,7 +1131,7 @@ ChunkEngine::checkDma(Cycle)
 }
 
 ChunkEngine::EngineChunk *
-ChunkEngine::pickCandidate(Cycle, ProcId &out_proc)
+ChunkEngine::pickCandidate(Cycle now, ProcId &out_proc)
 {
     // A split logical chunk must finish before anything else commits.
     for (ProcId p = 0; p < n_; ++p) {
@@ -1035,11 +1147,20 @@ ChunkEngine::pickCandidate(Cycle, ProcId &out_proc)
 
     if (!opts_.replay) {
         // Record, Order&Size / OrderOnly: FCFS over arrived requests.
+        // Under the sharded hierarchy the FCFS winner is the oldest
+        // request whose shard slots are free — younger shard-disjoint
+        // requests bypass an older one blocked on a busy shard, which
+        // is exactly the concurrency the shard arbiters add.
         EngineChunk *best = nullptr;
         ProcId best_p = 0;
         for (ProcId p = 0; p < n_; ++p) {
             EngineChunk *c = oldestReady(p);
-            if (c && (!best || c->extra.requestTime < best->extra.requestTime)) {
+            if (!c)
+                continue;
+            if (shardedRecord()
+                && !canOccupyShards(chunkShardMask(*c), now))
+                continue;
+            if (!best || c->extra.requestTime < best->extra.requestTime) {
                 best = c;
                 best_p = p;
             }
@@ -1082,6 +1203,27 @@ ChunkEngine::pickCandidate(Cycle, ProcId &out_proc)
         return best;
     }
 
+    if (po_cursor_) {
+        // Partial-order replay: any processor whose next logged entry
+        // is enabled (head of its program order and of every shard
+        // order its mask names) may commit; FCFS among them.
+        EngineChunk *best = nullptr;
+        ProcId best_p = 0;
+        for (ProcId p = 0; p < n_; ++p) {
+            if (!po_cursor_->procReady(p))
+                continue;
+            EngineChunk *c = oldestReady(p);
+            if (c
+                && (!best
+                    || c->extra.requestTime < best->extra.requestTime)) {
+                best = c;
+                best_p = p;
+            }
+        }
+        out_proc = best_p;
+        return best;
+    }
+
     // Replay with a plain PI log: strictly the recorded order.
     if (pi_cursor_->atEnd())
         return nullptr;
@@ -1108,7 +1250,10 @@ ChunkEngine::arbiterProcess(Cycle now)
     }
 
     while (freeSlots(now) > 0 && !stopped_) {
-        if (dmaIsNext(now)) {
+        if (dmaIsNext(now)
+            && (!shardedRecord()
+                || canOccupyShards(dmaShardMask(dma_pending_.front()),
+                                   now))) {
             grantDma(now);
             continue;
         }
@@ -1148,11 +1293,20 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     const Cycle occupancy = opts_.replay
                                 ? arbLatency() + commitLatency()
                                 : commitLatency();
-    for (auto &busy : slot_busy_until_) {
-        if (busy <= now) {
-            busy = now + occupancy;
-            schedule(busy, EvKind::kCommitFinish, 0, 0);
-            break;
+    if (shardedRecord()) {
+        const std::uint64_t mask = chunkShardMask(c);
+        occupyShards(mask, now, occupancy);
+        if (std::popcount(mask) > 1)
+            ++stats_.crossShardCommits;
+        else
+            ++stats_.shardLocalCommits;
+    } else {
+        for (auto &busy : slot_busy_until_) {
+            if (busy <= now) {
+                busy = now + occupancy;
+                schedule(busy, EvKind::kCommitFinish, 0, 0);
+                break;
+            }
         }
     }
     stats_.readyProcsAtCommit.add(static_cast<double>(countReadyProcs()));
@@ -1188,6 +1342,8 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
                     s.unionWith(c.sigs.write);
                     stratifier_->onCommit(p, s);
                 }
+            } else if (rec_->pi.hasMasks()) {
+                rec_->pi.appendWithMask(p, chunkShardMask(c));
             } else {
                 rec_->pi.append(p);
             }
@@ -1217,19 +1373,40 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     if (opts_.replay) {
         if (!c.extra.continuation && mode_.mode != ExecMode::kPicoLog
             && !strata_cursor_) {
-            // The grant was issued against peek() == p and nothing
-            // else consumes the cursor in between, but a corrupted
-            // log must fail loudly rather than silently desynchronize.
-            if (pi_cursor_->atEnd())
-                throw ReplayLogExhausted(
-                    "PI log ended before all chunks committed");
-            const ProcId logged = pi_cursor_->next();
-            if (logged != p)
-                throw ReplayError(
-                    "PI log order violated at entry "
-                    + std::to_string(pi_cursor_->position() - 1)
-                    + ": log says proc " + std::to_string(logged)
-                    + ", committing proc " + std::to_string(p));
+            if (po_cursor_) {
+                // Consume p's next entry under the partial order; the
+                // grant was issued against procReady(p), but a corrupt
+                // log must fail loudly, not desynchronize.
+                if (!po_cursor_->procReady(p))
+                    throw ReplayError(
+                        "partial-order PI log violated: proc "
+                        + std::to_string(p)
+                        + " committed with its next entry disabled");
+                const std::size_t low = po_cursor_->lowWatermark();
+                const std::size_t entry = po_cursor_->consumeProc(p);
+                po_fp_pos_[p] = po_cursor_->chunkPosOf(entry);
+                if (entry != low)
+                    ++stats_.poRelaxedRetires;
+                if (std::popcount(prior_->pi.maskAt(entry)) > 1)
+                    ++stats_.crossShardCommits;
+                else
+                    ++stats_.shardLocalCommits;
+            } else {
+                // The grant was issued against peek() == p and nothing
+                // else consumes the cursor in between, but a corrupted
+                // log must fail loudly rather than silently
+                // desynchronize.
+                if (pi_cursor_->atEnd())
+                    throw ReplayLogExhausted(
+                        "PI log ended before all chunks committed");
+                const ProcId logged = pi_cursor_->next();
+                if (logged != p)
+                    throw ReplayError(
+                        "PI log order violated at entry "
+                        + std::to_string(pi_cursor_->position() - 1)
+                        + ": log says proc " + std::to_string(logged)
+                        + ", committing proc " + std::to_string(p));
+            }
         }
         if (final_piece) {
             if (strata_cursor_)
@@ -1254,9 +1431,12 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
     stats_.retiredInstrs += c.size;
 
     if (final_piece) {
-        fp_.commits.push_back(CommitRecord{p, c.seq,
-                                           ps.partialSize + c.size,
-                                           c.endCtx.acc});
+        const CommitRecord commit{p, c.seq, ps.partialSize + c.size,
+                                  c.endCtx.acc};
+        if (po_cursor_)
+            fp_.commits[po_fp_pos_[p]] = commit;
+        else
+            fp_.commits.push_back(commit);
         ps.partialSize = 0;
         ps.mustContinue = false;
         ps.lastCommittedCtx = c.endCtx;
@@ -1306,6 +1486,9 @@ ChunkEngine::grantDma(Cycle now)
             if (mode_.mode != ExecMode::kPicoLog) {
                 if (stratifier_)
                     stratifier_->onDmaCommit();
+                else if (rec_->pi.hasMasks())
+                    rec_->pi.appendWithMask(kDmaProcId,
+                                            dmaShardMask(xfer));
                 else
                     rec_->pi.append(kDmaProcId);
             }
@@ -1316,6 +1499,8 @@ ChunkEngine::grantDma(Cycle now)
         if (mode_.mode != ExecMode::kPicoLog) {
             if (strata_cursor_)
                 strata_cursor_->consumeDma();
+            else if (po_cursor_)
+                po_cursor_->consumeProc(kDmaProcId);
             else
                 pi_cursor_->next();
         }
@@ -1325,11 +1510,20 @@ ChunkEngine::grantDma(Cycle now)
     const Cycle occupancy = opts_.replay
                                 ? arbLatency() + commitLatency()
                                 : commitLatency();
-    for (auto &busy : slot_busy_until_) {
-        if (busy <= now) {
-            busy = now + occupancy;
-            schedule(busy, EvKind::kCommitFinish, 0, 0);
-            break;
+    if (shardedRecord()) {
+        const std::uint64_t mask = dmaShardMask(xfer);
+        occupyShards(mask, now, occupancy);
+        if (std::popcount(mask) > 1)
+            ++stats_.crossShardCommits;
+        else
+            ++stats_.shardLocalCommits;
+    } else {
+        for (auto &busy : slot_busy_until_) {
+            if (busy <= now) {
+                busy = now + occupancy;
+                schedule(busy, EvKind::kCommitFinish, 0, 0);
+                break;
+            }
         }
     }
     if (opts_.replay) {

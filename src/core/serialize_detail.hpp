@@ -124,6 +124,7 @@ getMode(std::istream &in)
     return mode;
 }
 
+/** Machine header: 12 u64 fields since format v2 (numArbiters last). */
 inline void
 putMachine(std::ostream &out, const MachineConfig &m)
 {
@@ -138,10 +139,15 @@ putMachine(std::ostream &out, const MachineConfig &m)
     putU64(out, m.bulk.simultaneousChunks);
     putU64(out, m.bulk.collisionBackoffThreshold);
     putU64(out, m.bulk.exactDisambiguation ? 1 : 0);
+    putU64(out, m.bulk.numArbiters);
 }
 
+/**
+ * @param legacy_v1 parse the 11-field v1 header, which predates the
+ *        sharded arbiter hierarchy; numArbiters reads as 1.
+ */
 inline MachineConfig
-getMachine(std::istream &in)
+getMachine(std::istream &in, bool legacy_v1 = false)
 {
     MachineConfig m;
     m.numProcs = static_cast<unsigned>(getU64(in));
@@ -156,6 +162,8 @@ getMachine(std::istream &in)
     m.bulk.collisionBackoffThreshold =
         static_cast<unsigned>(getU64(in));
     m.bulk.exactDisambiguation = getU64(in) != 0;
+    m.bulk.numArbiters = legacy_v1 ? 1
+                                   : static_cast<unsigned>(getU64(in));
     return m;
 }
 

@@ -112,20 +112,24 @@ class SignatureT
         return true;
     }
 
-    /** Word-level intersection test (no summary filter). */
+    /**
+     * Word-level intersection test (no summary filter). The per-bank
+     * sweep is branch-free — every lane computes
+     * masked-self AND masked-other and OR-folds into an accumulator —
+     * so the compiler vectorizes the kBankWords lanes (8 x 64-bit for
+     * the 2 Kbit signature) instead of taking a data-dependent branch
+     * per word. Early exit happens only at bank granularity, where a
+     * miss is decisive anyway.
+     */
     bool
     intersectsWords(const SignatureT &other) const
     {
         for (unsigned b = 0; b < kBanks; ++b) {
-            bool bank_hit = false;
-            for (unsigned i = 0; i < kBankWords; ++i) {
-                if (word(b * kBankWords + i)
-                    & other.word(b * kBankWords + i)) {
-                    bank_hit = true;
-                    break;
-                }
-            }
-            if (!bank_hit)
+            std::uint64_t hit = 0;
+            for (unsigned i = 0; i < kBankWords; ++i)
+                hit |= maskedWord(b * kBankWords + i)
+                       & other.maskedWord(b * kBankWords + i);
+            if (hit == 0)
                 return false;
         }
         return true;
@@ -138,7 +142,13 @@ class SignatureT
         return summaryIntersects(other) && intersectsWords(other);
     }
 
-    /** Bitwise OR @p other into this signature. */
+    /**
+     * Bitwise OR @p other into this signature. Banks empty in @p other
+     * are skipped via the summary; a touched bank is merged with a
+     * branch-free lane sweep (unconditional word store + epoch-tag
+     * revive) the compiler can vectorize, instead of a liveness branch
+     * per word.
+     */
     void
     unionWith(const SignatureT &other)
     {
@@ -147,9 +157,9 @@ class SignatureT
                 continue; // whole bank empty in other
             summary_[b] |= other.summary_[b];
             for (unsigned i = 0; i < kBankWords; ++i) {
-                const std::uint64_t v = other.word(b * kBankWords + i);
-                if (v)
-                    orWord(b * kBankWords + i, v);
+                const unsigned w = b * kBankWords + i;
+                words_[w] = maskedWord(w) | other.maskedWord(w);
+                word_epoch_[w] = epoch_;
             }
         }
     }
@@ -180,18 +190,18 @@ class SignatureT
         return true;
     }
 
-    /** Number of set bits (occupancy). */
+    /**
+     * Number of set bits (occupancy). One flat branch-free pass of
+     * masked-word popcounts — no per-bank summary branch, so the
+     * whole signature is a fixed-length reduction.
+     */
     unsigned
     popCount() const
     {
         unsigned count = 0;
-        for (unsigned b = 0; b < kBanks; ++b) {
-            if (!summary_[b])
-                continue;
-            for (unsigned i = 0; i < kBankWords; ++i)
-                count += static_cast<unsigned>(
-                    std::popcount(word(b * kBankWords + i)));
-        }
+        for (unsigned i = 0; i < kWords; ++i)
+            count +=
+                static_cast<unsigned>(std::popcount(maskedWord(i)));
         return count;
     }
 
@@ -221,12 +231,41 @@ class SignatureT
         return true;
     }
 
+    /**
+     * Address-shard index of @p line for the sharded arbiter
+     * hierarchy: the bank-0 signature hash truncated to the shard
+     * count. @p shards must be a power of two in [1, 64]. Keying the
+     * shard off the same permutation family as the signature banks
+     * keeps shard membership consistent with what the signatures
+     * encode: two lines that could alias in bank 0 land in the same
+     * shard.
+     */
+    static unsigned
+    shardOf(Addr line, unsigned shards)
+    {
+        return static_cast<unsigned>(
+            mix64((line >> kShifts[0]) * 0x9E3779B97F4A7C15ull)
+            & (shards - 1));
+    }
+
   private:
     /** Word @p i with stale (pre-clear) content read as zero. */
     std::uint64_t
     word(unsigned i) const
     {
         return word_epoch_[i] == epoch_ ? words_[i] : 0;
+    }
+
+    /**
+     * Branch-free variant of word(): the epoch compare becomes an
+     * all-ones/all-zero mask, keeping lane sweeps vectorizable.
+     */
+    std::uint64_t
+    maskedWord(unsigned i) const
+    {
+        return words_[i]
+               & static_cast<std::uint64_t>(
+                     -static_cast<std::int64_t>(word_epoch_[i] == epoch_));
     }
 
     /** OR @p mask into word @p i, reviving it if stale. */

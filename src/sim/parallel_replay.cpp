@@ -206,9 +206,13 @@ ParallelReplayer::replay(const Recording &rec,
 
     std::unique_ptr<PiLogCursor> pi;
     std::unique_ptr<StrataCursor> strata;
+    std::unique_ptr<PartialOrderCursor> po;
     if (!pico) {
         if (rec.stratified())
             strata = std::make_unique<StrataCursor>(rec.strata, n);
+        else if (rec.pi.hasMasks() && opts_.honorPartialOrder)
+            po = std::make_unique<PartialOrderCursor>(
+                rec.pi, n, rec.machine.bulk.numArbiters);
         else
             pi = std::make_unique<PiLogCursor>(rec.pi);
     }
@@ -220,6 +224,12 @@ ParallelReplayer::replay(const Recording &rec,
     std::atomic<std::uint64_t> executed{0};
     EngineStats stats;
     ExecutionFingerprint fp;
+    // Partial-order retirement is out-of-order w.r.t. the log's entry
+    // sequence, so commits land positionally: pre-size the commit
+    // stream and write each record at the commit position its log
+    // entry occupies among non-DMA entries.
+    if (po)
+        fp.commits.resize(po->chunkEntryCount());
 
     const auto allFinished = [&] {
         for (const ProcReplay &pr : procs)
@@ -250,6 +260,17 @@ ParallelReplayer::replay(const Recording &rec,
                     push(p);
             for (ProcId p = 0; p < n; ++p)
                 push(p);
+        } else if (po) {
+            // Enabled heads first (they can retire as soon as their
+            // bodies finish), then processors with any entries left.
+            for (ProcId p = 0; p < n; ++p)
+                if (po->procReady(p))
+                    push(p);
+            for (ProcId p = 0; p < n; ++p)
+                if (po->procHasEntries(p))
+                    push(p);
+            for (ProcId p = 0; p < n; ++p)
+                push(p);
         } else {
             const std::size_t limit = std::min<std::size_t>(
                 rec.pi.entryCount(),
@@ -277,7 +298,9 @@ ParallelReplayer::replay(const Recording &rec,
             mem.store(wordOf(xfer.wordAddrs[i]), xfer.values[i]);
     };
 
-    const auto retireChunk = [&](ProcId p) {
+    // @p fp_pos: commit position for partial-order retirement (writes
+    // into the pre-sized stream); SIZE_MAX appends in retire order.
+    const auto retireChunk = [&](ProcId p, std::size_t fp_pos) {
         ProcReplay &pr = procs[p];
         ChunkBody &b = pr.pending;
         // Value-based read validation: a body that executed against a
@@ -296,8 +319,11 @@ ParallelReplayer::replay(const Recording &rec,
         }
         for (const auto &[word, value] : b.writes)
             mem.store(word, value);
-        fp.commits.push_back(
-            CommitRecord{p, b.seq, b.size, b.endCtx.acc});
+        const CommitRecord commit{p, b.seq, b.size, b.endCtx.acc};
+        if (fp_pos != static_cast<std::size_t>(-1))
+            fp.commits[fp_pos] = commit;
+        else
+            fp.commits.push_back(commit);
         stats.retiredInstrs += b.size;
         ++stats.committedChunks;
         pr.ctx = b.endCtx;
@@ -326,7 +352,7 @@ ParallelReplayer::replay(const Recording &rec,
                     rr = (rr + 1) % n;
                 if (procs[rr].finished || !readyBody(rr))
                     break;
-                retireChunk(rr);
+                retireChunk(rr, static_cast<std::size_t>(-1));
                 rr = (rr + 1) % n;
                 ++gcc;
                 any = true;
@@ -356,9 +382,37 @@ ParallelReplayer::replay(const Recording &rec,
                         break;
                     }
                 }
-                retireChunk(p);
+                retireChunk(p, static_cast<std::size_t>(-1));
                 strata->consume(p);
                 any = true;
+                continue;
+            }
+            if (po) {
+                if (po->atEnd())
+                    break;
+                if (po->dmaReady()) {
+                    applyDma();
+                    po->consumeProc(kDmaProcId);
+                    any = true;
+                    continue;
+                }
+                // Retire every enabled head whose body is ready; each
+                // consumption can enable further entries, so sweep
+                // until a full pass retires nothing.
+                bool did = false;
+                for (ProcId p = 0; p < n; ++p) {
+                    if (!po->procReady(p) || !readyBody(p))
+                        continue;
+                    const std::size_t low = po->lowWatermark();
+                    const std::size_t entry = po->consumeProc(p);
+                    if (entry != low)
+                        ++stats.poRelaxedRetires;
+                    retireChunk(p, po->chunkPosOf(entry));
+                    did = true;
+                    any = true;
+                }
+                if (!did)
+                    break;
                 continue;
             }
             if (pi->atEnd())
@@ -376,7 +430,7 @@ ParallelReplayer::replay(const Recording &rec,
                                   + std::to_string(n));
             if (!readyBody(e))
                 break;
-            retireChunk(e);
+            retireChunk(e, static_cast<std::size_t>(-1));
             pi->next();
             any = true;
         }

@@ -50,6 +50,13 @@ struct ParallelReplayOptions
     /// Executed-instruction budget; 0 derives one from the recording
     /// so a corrupted log fails with ReplayBudgetExceeded promptly.
     std::uint64_t maxInstrs = 0;
+    /// For v2 partial-order recordings (PI shard masks), retire under
+    /// exactly the recorded per-shard + program-order constraints
+    /// instead of the logged total order. The fingerprint is filled
+    /// positionally, so it stays byte-identical to a total-order
+    /// replay. False forces the classic total-order cursor (the log's
+    /// entry sequence is always a valid linearization).
+    bool honorPartialOrder = true;
 };
 
 /**

@@ -30,7 +30,9 @@ namespace
 constexpr std::uint64_t kArchiveMagic = 0x766372416F4C6544ull;  // "DeLoArcv"
 constexpr std::uint64_t kSegmentMagic = 0x2E6765536F4C6544ull;  // "DeLoSeg."
 constexpr std::uint64_t kArchiveEndMagic = 0x5A6372416F4C6544ull; // "DeLoArcZ"
-constexpr std::uint64_t kArchiveVersion = 1;
+// v2: machine footer carries bulk.numArbiters (12 u64s) and PI slices
+// carry an optional shard-mask section for partial-order recordings.
+constexpr std::uint64_t kArchiveVersion = 2;
 constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kSegmentHeaderBytes = 40;
 constexpr std::size_t kTrailerBytes = 40;
@@ -133,8 +135,12 @@ buildSegmentPayload(const Recording &rec, const Boundary &lo,
         pi_hi = std::min<std::uint64_t>(hi.gcc, rec.pi.entryCount());
     }
     put(pi_hi - pi_lo);
+    put(rec.pi.hasMasks() ? 1 : 0);
     for (std::uint64_t i = pi_lo; i < pi_hi; ++i)
         put(rec.pi.entryAt(i));
+    if (rec.pi.hasMasks())
+        for (std::uint64_t i = pi_lo; i < pi_hi; ++i)
+            put(rec.pi.maskAt(i));
 
     // Strata slice.
     put(hi.strataIdx - lo.strataIdx);
@@ -210,6 +216,8 @@ buildSegmentPayload(const Recording &rec, const Boundary &lo,
 struct SegmentSlice
 {
     std::vector<ProcId> pi;
+    bool piHasMasks = false;
+    std::vector<std::uint64_t> piMasks;
     std::vector<Stratum> strata;
     std::vector<std::vector<CsEntry>> cs;
     std::vector<std::vector<InterruptRecord>> interrupts;
@@ -227,8 +235,17 @@ parseSegmentPayload(const std::vector<std::uint8_t> &raw, unsigned n)
         std::ios::binary);
     SegmentSlice s;
     const std::uint64_t pi_count = getU64(in);
+    const std::uint64_t pi_masked = getU64(in);
+    if (pi_masked > 1)
+        throw RecordingFormatError("PI mask flag "
+                                   + std::to_string(pi_masked)
+                                   + " is not a boolean");
+    s.piHasMasks = pi_masked != 0;
     for (std::uint64_t i = 0; i < pi_count; ++i)
         s.pi.push_back(static_cast<ProcId>(getU64(in)));
+    if (s.piHasMasks)
+        for (std::uint64_t i = 0; i < pi_count; ++i)
+            s.piMasks.push_back(getU64(in));
     const std::uint64_t strata_count = getU64(in);
     for (std::uint64_t i = 0; i < strata_count; ++i) {
         Stratum st;
@@ -393,6 +410,8 @@ ArchiveWriter::write(const Recording &rec)
     // Exact per-proc log write-pointer positions at each boundary:
     // scratch logs replicate the recorder's variable-width packing.
     PiLog scratch_pi(n);
+    if (rec.pi.hasMasks())
+        scratch_pi.enableMasks(rec.pi.maskBits());
     std::vector<CsLog> scratch_cs(n, CsLog(rec.mode));
     const unsigned strata_counter_bits =
         rec.stratified()
@@ -426,8 +445,13 @@ ArchiveWriter::write(const Recording &rec)
             for (std::uint64_t g = prev.gcc;
                  g < std::min<std::uint64_t>(cur.gcc,
                                              rec.pi.entryCount());
-                 ++g)
-                scratch_pi.append(rec.pi.entryAt(g));
+                 ++g) {
+                if (rec.pi.hasMasks())
+                    scratch_pi.appendWithMask(rec.pi.entryAt(g),
+                                              rec.pi.maskAt(g));
+                else
+                    scratch_pi.append(rec.pi.entryAt(g));
+            }
         }
         info.piBitsEnd = scratch_pi.sizeBits();
         info.strataBitsEnd = static_cast<std::uint64_t>(cur.strataIdx)
@@ -830,18 +854,51 @@ skeletonRecording(const MachineConfig &machine, const ModeConfig &mode,
     return rec;
 }
 
-/** Append one decoded segment slice onto @p rec's logs. */
+/**
+ * Append one decoded segment slice onto @p rec's logs.
+ *
+ * @param use_masks keep the slice's shard masks (readAll). readInterval
+ *        passes false: its synthetic PI prefix is maskless, so the
+ *        reconstructed interval degrades to a total-order PI log —
+ *        interval replay is always total-order anyway.
+ */
 void
 appendSlice(Recording &rec, const SegmentSlice &slice,
-            std::vector<std::uint64_t> &io_base, std::size_t segment)
+            std::vector<std::uint64_t> &io_base, std::size_t segment,
+            bool use_masks)
 {
     const unsigned n = rec.machine.numProcs;
-    for (const ProcId p : slice.pi) {
+    const bool masked = use_masks && slice.piHasMasks;
+    if (masked && !rec.pi.hasMasks()) {
+        if (rec.pi.entryCount() != 0)
+            throw ArchiveError(ArchiveSection::kSegment, segment,
+                               "PI mask section appears mid-stream");
+        if (rec.machine.bulk.numArbiters < 2)
+            throw ArchiveError(ArchiveSection::kSegment, segment,
+                               "PI masks present with a single arbiter");
+        rec.pi.enableMasks(rec.machine.bulk.numArbiters);
+    }
+    if (use_masks && !slice.piHasMasks && rec.pi.hasMasks()
+        && !slice.pi.empty())
+        throw ArchiveError(ArchiveSection::kSegment, segment,
+                           "PI mask section ends mid-stream");
+    for (std::size_t i = 0; i < slice.pi.size(); ++i) {
+        const ProcId p = slice.pi[i];
         if (p >= n && p != kDmaProcId)
             throw ArchiveError(ArchiveSection::kSegment, segment,
                                "PI entry names proc "
                                    + std::to_string(p));
-        rec.pi.append(p);
+        if (masked) {
+            const std::uint64_t mask = slice.piMasks[i];
+            const unsigned shards = rec.machine.bulk.numArbiters;
+            if (mask == 0
+                || (shards < 64 && mask >= (1ull << shards)))
+                throw ArchiveError(ArchiveSection::kSegment, segment,
+                                   "PI shard mask out of range");
+            rec.pi.appendWithMask(p, mask);
+        } else {
+            rec.pi.append(p);
+        }
     }
     for (const Stratum &s : slice.strata)
         rec.strata.push_back(s);
@@ -876,7 +933,7 @@ ArchiveReader::readAll() const
     for (std::size_t i = 0; i < segments_.size(); ++i) {
         const SegmentSlice slice =
             decodeSegment(segmentPayload(i), machine_.numProcs, i);
-        appendSlice(rec, slice, io_base, i);
+        appendSlice(rec, slice, io_base, i, /*use_masks=*/true);
         if (segments_[i].hasCheckpoint)
             rec.checkpoints.push_back(segments_[i].checkpoint);
     }
@@ -964,7 +1021,7 @@ ArchiveReader::readInterval(std::size_t from, std::size_t to) const
     for (std::size_t i = from + 1; i <= last_seg; ++i) {
         const SegmentSlice slice =
             decodeSegment(segmentPayload(i), n, i);
-        appendSlice(rec, slice, io_base, i);
+        appendSlice(rec, slice, io_base, i, /*use_masks=*/false);
     }
 
     rec.fingerprint.perProcAcc = per_proc_acc_;

@@ -24,10 +24,13 @@ class AddressLayout
     static constexpr Addr kSharedBase = 0x1000'0000;
     static constexpr Addr kPrivateBase = 0x2000'0000;
     static constexpr Addr kPrivateSpan = 0x0100'0000; ///< per processor
-    static constexpr Addr kLockBase = 0x4000'0000;
-    static constexpr Addr kBarrierBase = 0x4100'0000;
-    static constexpr Addr kKernelBase = 0x5000'0000;
-    static constexpr Addr kDmaBase = 0x6000'0000;
+    /// The private region hosts up to 64 processors (the serializer's
+    /// numProcs ceiling), so the remaining regions start past
+    /// kPrivateBase + 64 * kPrivateSpan.
+    static constexpr Addr kLockBase = 0x6000'0000;
+    static constexpr Addr kBarrierBase = 0x6100'0000;
+    static constexpr Addr kKernelBase = 0x7000'0000;
+    static constexpr Addr kDmaBase = 0x7800'0000;
     static constexpr Addr kIoBase = 0x8000'0000;
 
     /** i-th word of the shared data region. */

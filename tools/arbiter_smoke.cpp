@@ -1,0 +1,139 @@
+/**
+ * @file
+ * CI smoke check for the sharded commit-arbiter hierarchy; wired into
+ * ctest as `arbiter_smoke` (tier-1). In a couple of seconds it records
+ * a tiny application on 16 simulated cores with 4 address-shard
+ * arbiters under all three modes and asserts, with four worker
+ * threads:
+ *
+ *   - the flat-PI recordings carry format-v2 shard masks (PicoLog
+ *     stays maskless — its commit order is predefined, so there is no
+ *     partial order to record),
+ *   - the partial-order serial replay, the total-order serial replay
+ *     (honorPartialOrder = false), and the host-parallel chunk-body
+ *     replayer at jobs=4 in both order modes all reproduce the
+ *     recording with byte-identical fingerprints,
+ *   - the recording serializes and reloads byte-identically.
+ *
+ * The exhaustive versions live in tests/test_sharded_arbiter.cpp and
+ * the bench/arbiter_scaling harness.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "core/recorder.hpp"
+#include "core/serialize.hpp"
+#include "sim/parallel_replay.hpp"
+#include "trace/workload.hpp"
+#include "validate/replay_check.hpp"
+
+using namespace delorean;
+
+namespace
+{
+
+constexpr unsigned kProcs = 16;
+constexpr unsigned kShards = 4;
+constexpr unsigned kScalePercent = 6;
+constexpr std::uint64_t kWorkloadSeed = 20080621;
+constexpr std::uint64_t kEnvSeed = 1;
+constexpr unsigned kJobs = 4;
+
+bool
+smokeOne(const char *label, const ModeConfig &mode)
+{
+    MachineConfig machine;
+    machine.numProcs = kProcs;
+    machine.bulk.numArbiters = kShards;
+    Workload workload("lu", kProcs, kWorkloadSeed,
+                      WorkloadScale{kScalePercent});
+    const Recording rec =
+        Recorder(mode, machine).record(workload, kEnvSeed);
+
+    const bool expect_masks = mode.mode != ExecMode::kPicoLog;
+    if (rec.pi.hasMasks() != expect_masks) {
+        std::fprintf(stderr,
+                     "arbiter_smoke: %s: expected hasMasks=%d, got %d\n",
+                     label, expect_masks, rec.pi.hasMasks());
+        return false;
+    }
+
+    std::ostringstream out;
+    saveRecording(rec, out);
+    std::istringstream in(std::move(out).str());
+    const Recording loaded = loadRecording(in);
+    std::ostringstream out2;
+    saveRecording(loaded, out2);
+    if (in.str() != out2.str()) {
+        std::fprintf(stderr,
+                     "arbiter_smoke: %s: save/load/save not "
+                     "byte-identical\n",
+                     label);
+        return false;
+    }
+
+    const ReplayCheckResult serial = checkedReplay(rec);
+    if (!serial.ok) {
+        std::fprintf(stderr, "arbiter_smoke: %s: serial replay: %s\n",
+                     label, serial.report.describe().c_str());
+        return false;
+    }
+
+    ReplayCheckOptions total_opts;
+    total_opts.honorPartialOrder = false;
+    const ReplayCheckResult total = checkedReplay(rec, total_opts);
+    if (!total.ok
+        || !total.outcome.fingerprint.matchesExact(
+            serial.outcome.fingerprint)) {
+        std::fprintf(stderr,
+                     "arbiter_smoke: %s: total-order replay diverged "
+                     "from partial-order\n%s\n",
+                     label, total.report.describe().c_str());
+        return false;
+    }
+
+    for (const bool honor : {true, false}) {
+        ParallelReplayOptions popts;
+        popts.window = 8;
+        popts.jobs = kJobs;
+        popts.honorPartialOrder = honor;
+        const ReplayCheckResult par = checkedParallelReplay(rec, popts);
+        if (!par.ok
+            || !par.outcome.fingerprint.matchesExact(
+                serial.outcome.fingerprint)) {
+            std::fprintf(stderr,
+                         "arbiter_smoke: %s: chunk-parallel replay "
+                         "(jobs=%u honorPartialOrder=%d) diverged\n%s\n",
+                         label, kJobs, honor,
+                         par.report.describe().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool ok = true;
+    for (const auto &[label, mode] :
+         {std::pair<const char *, ModeConfig>{"order-and-size",
+                                              ModeConfig::orderAndSize()},
+          {"order-only", ModeConfig::orderOnly()},
+          {"picolog", ModeConfig::picoLog()}}) {
+        ok = smokeOne(label, mode) && ok;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "arbiter_smoke: FAILED\n");
+        return 1;
+    }
+    std::printf("arbiter_smoke: %u cores / %u shards: partial-order == "
+                "total-order == parallel replay fingerprints "
+                "(jobs=%u, all modes)\n",
+                kProcs, kShards, kJobs);
+    return 0;
+}
