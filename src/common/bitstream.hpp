@@ -114,12 +114,22 @@ class BitWriter
     std::uint64_t word_flushes_ = 0;
 };
 
-/** Sequential reader over a BitWriter's output. */
+/**
+ * Sequential reader over a BitWriter's output. Reads from a raw byte
+ * span — the vector constructor is a view, so the reader can also walk
+ * storage the caller does not own (an mmap'ed archive payload) without
+ * copying it first. The span must hold at least ceil(bits / 8) bytes.
+ */
 class BitReader
 {
   public:
+    BitReader(const std::uint8_t *data, std::uint64_t bits)
+        : data_(data), bits_(bits)
+    {
+    }
+
     BitReader(const std::vector<std::uint8_t> &bytes, std::uint64_t bits)
-        : bytes_(&bytes), bits_(bits)
+        : BitReader(bytes.data(), bits)
     {
     }
 
@@ -164,21 +174,29 @@ class BitReader
     bool atEnd() const { return pos_ == bits_; }
 
   private:
+    /**
+     * Byte-gathering extraction: one load per covered byte instead of
+     * one branchy loop iteration per bit. Bits above the requested
+     * width fall off the top of the 64-bit value or are masked, so the
+     * result is identical to the historical bit-at-a-time reader.
+     */
     std::uint64_t
     readUnchecked(unsigned width)
     {
-        std::uint64_t value = 0;
-        for (unsigned i = 0; i < width; ++i) {
-            const unsigned byte = pos_ / 8;
-            const unsigned off = pos_ % 8;
-            if (((*bytes_)[byte] >> off) & 1u)
-                value |= (1ull << i);
-            ++pos_;
-        }
+        if (width == 0)
+            return 0;
+        std::size_t byte = static_cast<std::size_t>(pos_ >> 3);
+        const unsigned off = static_cast<unsigned>(pos_ & 7);
+        pos_ += width;
+        std::uint64_t value = data_[byte] >> off;
+        for (unsigned got = 8 - off; got < width; got += 8)
+            value |= static_cast<std::uint64_t>(data_[++byte]) << got;
+        if (width < 64)
+            value &= (1ull << width) - 1;
         return value;
     }
 
-    const std::vector<std::uint8_t> *bytes_;
+    const std::uint8_t *data_;
     std::uint64_t bits_;
     std::uint64_t pos_ = 0;
 };

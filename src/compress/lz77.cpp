@@ -83,22 +83,35 @@ tokenizeSpan(const std::uint8_t *data, std::size_t n, bool final,
         std::size_t best_len = 0;
         std::size_t best_dist = 0;
         if (pos + cfg.minMatch <= n) {
+            // Exact hash-chain walk. Chains enumerate candidates in
+            // increasing distance and hold *every* prior position
+            // sharing pos's 3-byte prefix, so taking only strictly
+            // longer matches reproduces the full-window greedy scan
+            // bit for bit: longest match, smallest distance on ties
+            // (asserted against lz77_reference in the tests). Cheap
+            // exactness guards replace the old bounded probe count:
+            // a candidate that disagrees at offset best_len cannot
+            // beat the incumbent and is skipped without a length
+            // scan, and a match reaching the position limit ends the
+            // walk — no later (farther) candidate can be longer.
+            const std::size_t limit =
+                std::min<std::size_t>(cfg.maxMatch, n - pos);
             const std::uint32_t h = hash3(&data[pos]);
             std::uint32_t cand = head[h];
-            unsigned probes = 32; // bounded chain walk
-            while (cand != kNoPos && probes-- > 0) {
+            while (cand != kNoPos) {
                 const std::size_t dist = pos - cand;
                 if (dist > window)
                     break;
-                const std::size_t limit =
-                    std::min<std::size_t>(cfg.maxMatch, n - pos);
-                const std::size_t len =
-                    matchLength(&data[cand], &data[pos], limit);
-                if (len > best_len) {
-                    best_len = len;
-                    best_dist = dist;
-                    if (len >= cfg.maxMatch)
-                        break;
+                if (best_len == 0
+                    || data[cand + best_len] == data[pos + best_len]) {
+                    const std::size_t len =
+                        matchLength(&data[cand], &data[pos], limit);
+                    if (len > best_len) {
+                        best_len = len;
+                        best_dist = dist;
+                        if (len >= limit)
+                            break;
+                    }
                 }
                 cand = prev[cand];
             }
@@ -161,9 +174,9 @@ Lz77::compress(const std::vector<std::uint8_t> &input) const
 }
 
 std::vector<std::uint8_t>
-Lz77::decompress(const std::vector<std::uint8_t> &input) const
+Lz77::decompress(const std::uint8_t *input, std::size_t input_size) const
 {
-    BitReader in(input, static_cast<std::uint64_t>(input.size()) * 8);
+    BitReader in(input, static_cast<std::uint64_t>(input_size) * 8);
     const std::uint64_t size = in.read(64);
 
     // Corrupted-size guard: a match token (the densest encoding)
@@ -171,7 +184,7 @@ Lz77::decompress(const std::vector<std::uint8_t> &input) const
     // bytes, so any honest stream satisfies this bound. Checking it
     // here keeps a flipped size header from reserving gigabytes.
     const std::uint64_t token_bits =
-        static_cast<std::uint64_t>(input.size()) * 8 - 64;
+        static_cast<std::uint64_t>(input_size) * 8 - 64;
     const std::uint64_t max_out =
         (token_bits / (1 + config_.windowBits + 8) + 1)
         * config_.maxMatch;
@@ -179,28 +192,51 @@ Lz77::decompress(const std::vector<std::uint8_t> &input) const
         throw RecordingFormatError(
             "lz77: implausible decompressed size "
             + std::to_string(size) + " for "
-            + std::to_string(input.size()) + " input bytes");
+            + std::to_string(input_size) + " input bytes");
 
-    std::vector<std::uint8_t> out;
-    out.reserve(size);
-    while (out.size() < size) {
+    // The output size is known up front, so decode into a
+    // preallocated buffer with block copies for match tokens instead
+    // of a push_back per byte. Only a corrupt stream whose final
+    // match overshoots the declared size ever regrows the buffer
+    // (matching the historical decoder, which returned the oversized
+    // output and let the caller's size cross-check reject it).
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(size));
+    std::size_t produced = 0;
+    while (produced < size) {
         if (in.read(1) == 0) {
-            out.push_back(static_cast<std::uint8_t>(in.read(8)));
+            out[produced++] = static_cast<std::uint8_t>(in.read(8));
         } else {
             const std::size_t dist =
                 static_cast<std::size_t>(in.read(config_.windowBits)) + 1;
             const std::size_t len =
                 static_cast<std::size_t>(in.read(8)) + config_.minMatch;
-            if (dist > out.size())
+            if (dist > produced)
                 throw RecordingFormatError(
                     "lz77: match distance " + std::to_string(dist)
                     + " reaches before output start (have "
-                    + std::to_string(out.size()) + " bytes)");
-            for (std::size_t i = 0; i < len; ++i)
-                out.push_back(out[out.size() - dist]);
+                    + std::to_string(produced) + " bytes)");
+            if (produced + len > out.size())
+                out.resize(produced + len);
+            const std::uint8_t *src = out.data() + produced - dist;
+            std::uint8_t *dst = out.data() + produced;
+            if (dist >= len) {
+                std::memcpy(dst, src, len);
+            } else {
+                // Overlapping match: the copy reads bytes it just
+                // wrote (run-length style), so it must go bytewise.
+                for (std::size_t i = 0; i < len; ++i)
+                    dst[i] = src[i];
+            }
+            produced += len;
         }
     }
     return out;
+}
+
+std::vector<std::uint8_t>
+Lz77::decompress(const std::vector<std::uint8_t> &input) const
+{
+    return decompress(input.data(), input.size());
 }
 
 std::uint64_t
@@ -264,6 +300,152 @@ Lz77Stream::drain(bool final)
             out_.write(len - config_.minMatch, 8);
         });
 }
+
+// ---- lz77_reference -------------------------------------------------
+
+namespace lz77_reference
+{
+
+namespace
+{
+
+/**
+ * The pre-hash-chain greedy tokenizer: an O(window * len) scalar scan
+ * over every candidate distance. Kept verbatim as the equivalence
+ * oracle for the production searcher — longest match wins, smallest
+ * distance breaks ties (the scan visits distances in ascending order
+ * and only a strictly longer match displaces the incumbent).
+ */
+template <typename LitFn, typename MatchFn>
+void
+referenceTokenize(const std::vector<std::uint8_t> &input,
+                  const Lz77Config &cfg, LitFn emit_literal,
+                  MatchFn emit_match)
+{
+    const std::size_t n = input.size();
+    const std::size_t window = std::size_t{1} << cfg.windowBits;
+    std::size_t pos = 0;
+    while (pos < n) {
+        std::size_t best_len = 0;
+        std::size_t best_dist = 0;
+        const std::size_t limit =
+            std::min<std::size_t>(cfg.maxMatch, n - pos);
+        const std::size_t max_dist = std::min(window, pos);
+        for (std::size_t dist = 1; dist <= max_dist; ++dist) {
+            const std::size_t len = matchLength(
+                &input[pos - dist], &input[pos], limit);
+            if (len > best_len) {
+                best_len = len;
+                best_dist = dist;
+                if (len >= limit)
+                    break;
+            }
+        }
+        if (best_len >= cfg.minMatch) {
+            emit_match(best_dist, best_len);
+            pos += best_len;
+        } else {
+            emit_literal(input[pos]);
+            pos += 1;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t> &input, const Lz77Config &cfg)
+{
+    BitWriter out;
+    out.write(input.size(), 64);
+    referenceTokenize(
+        input, cfg,
+        [&](std::uint8_t lit) {
+            out.write(0, 1);
+            out.write(lit, 8);
+        },
+        [&](std::size_t dist, std::size_t len) {
+            out.write(1, 1);
+            out.write(dist - 1, cfg.windowBits);
+            out.write(len - cfg.minMatch, 8);
+        });
+    return out.bytes();
+}
+
+std::uint64_t
+compressedBits(const std::vector<std::uint8_t> &input,
+               const Lz77Config &cfg)
+{
+    std::uint64_t bits = 0;
+    referenceTokenize(
+        input, cfg, [&](std::uint8_t) { bits += 1 + 8; },
+        [&](std::size_t, std::size_t) {
+            bits += 1 + cfg.windowBits + 8;
+        });
+    return bits;
+}
+
+std::vector<std::uint8_t>
+decompress(const std::vector<std::uint8_t> &input, const Lz77Config &cfg)
+{
+    // The historical decoder: bit-at-a-time extraction and a
+    // push_back per output byte. Serves as the serial-baseline cost
+    // model in bench/archive_io and as the output oracle for the
+    // block-copy decoder.
+    if (static_cast<std::uint64_t>(input.size()) * 8 < 64)
+        throw BitstreamExhausted("read of 64 bits at position 0 of "
+                                 + std::to_string(input.size() * 8));
+    std::uint64_t pos_bits = 0;
+    const std::uint64_t total_bits =
+        static_cast<std::uint64_t>(input.size()) * 8;
+    const auto read = [&](unsigned width) {
+        if (pos_bits + width > total_bits)
+            throw BitstreamExhausted(
+                "read of " + std::to_string(width) + " bits at position "
+                + std::to_string(pos_bits) + " of "
+                + std::to_string(total_bits));
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            if ((input[pos_bits / 8] >> (pos_bits % 8)) & 1u)
+                value |= (1ull << i);
+            ++pos_bits;
+        }
+        return value;
+    };
+
+    const std::uint64_t size = read(64);
+    const std::uint64_t token_bits = total_bits - 64;
+    const std::uint64_t max_out =
+        (token_bits / (1 + cfg.windowBits + 8) + 1) * cfg.maxMatch;
+    if (size > max_out)
+        throw RecordingFormatError(
+            "lz77: implausible decompressed size "
+            + std::to_string(size) + " for "
+            + std::to_string(input.size()) + " input bytes");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(size);
+    while (out.size() < size) {
+        if (read(1) == 0) {
+            out.push_back(static_cast<std::uint8_t>(read(8)));
+        } else {
+            const std::size_t dist =
+                static_cast<std::size_t>(read(cfg.windowBits)) + 1;
+            const std::size_t len =
+                static_cast<std::size_t>(read(8)) + cfg.minMatch;
+            if (dist > out.size())
+                throw RecordingFormatError(
+                    "lz77: match distance " + std::to_string(dist)
+                    + " reaches before output start (have "
+                    + std::to_string(out.size()) + " bytes)");
+            for (std::size_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - dist]);
+        }
+    }
+    return out;
+}
+
+} // namespace lz77_reference
 
 void
 Lz77Stream::compact()

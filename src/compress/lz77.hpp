@@ -62,6 +62,14 @@ class Lz77
     decompress(const std::vector<std::uint8_t> &input) const;
 
     /**
+     * Span overload: decode directly out of caller-owned storage
+     * (e.g. an mmap'ed archive payload) without copying the
+     * compressed bytes first.
+     */
+    std::vector<std::uint8_t>
+    decompress(const std::uint8_t *input, std::size_t input_size) const;
+
+    /**
      * Compressed size in bits of @p input, without materializing the
      * output (used by the log-size harnesses). Token bits only — the
      * 64-bit length header compress() prepends is excluded.
@@ -126,6 +134,34 @@ class Lz77Stream
     std::uint64_t total_in_ = 0; ///< bytes appended overall
     bool finished_ = false;
 };
+
+/**
+ * Test/bench hook: the pre-hash-chain codec, kept verbatim.
+ *
+ * compress()/compressedBits() run the O(window * len) scalar greedy
+ * scan the hash-chain searcher replaced; decompress() is the
+ * historical bit-at-a-time decoder. The production codec is required
+ * to be *byte-identical* to these on every input (the hash chain
+ * finds the same greedy longest match with the same smallest-distance
+ * tie-break), which the lz77 tests assert across the bench corpora.
+ * bench/archive_io uses them as the serial-baseline cost model. Not
+ * for production use — quadratic on repetitive input.
+ */
+namespace lz77_reference
+{
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t> &input,
+         const Lz77Config &cfg = {});
+
+std::uint64_t compressedBits(const std::vector<std::uint8_t> &input,
+                             const Lz77Config &cfg = {});
+
+std::vector<std::uint8_t>
+decompress(const std::vector<std::uint8_t> &input,
+           const Lz77Config &cfg = {});
+
+} // namespace lz77_reference
 
 } // namespace delorean
 

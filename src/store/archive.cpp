@@ -1,14 +1,19 @@
 #include "store/archive.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <fstream>
+#include <functional>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "compress/lz77.hpp"
 #include "core/serialize.hpp"
 #include "core/serialize_detail.hpp"
 #include "core/stratifier.hpp"
+#include "sim/campaign.hpp"
 #include "store/crc32.hpp"
 
 namespace delorean
@@ -320,7 +325,7 @@ compressPayload(const std::string &raw)
 }
 
 std::uint64_t
-readU64At(const std::vector<std::uint8_t> &bytes, std::size_t offset)
+readU64At(const std::uint8_t *bytes, std::size_t offset)
 {
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
@@ -328,7 +333,48 @@ readU64At(const std::vector<std::uint8_t> &bytes, std::size_t offset)
     return v;
 }
 
+/**
+ * Run @p tasks over a pool, collecting each task's exception (if any)
+ * by index; the caller decides rethrow order. Task results land in
+ * caller-owned index-keyed slots, so outcomes are independent of the
+ * worker count — the parallel-codec analogue of the campaign runner's
+ * determinism rule.
+ */
+void
+runIndexed(WorkerPool &pool,
+           std::vector<std::function<void()>> tasks,
+           std::vector<std::exception_ptr> &errors)
+{
+    errors.assign(tasks.size(), nullptr);
+    std::vector<std::function<void()>> wrapped;
+    wrapped.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        wrapped.push_back([&tasks, &errors, i] {
+            try {
+                tasks[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool.runBatch(wrapped);
+}
+
 } // namespace
+
+// ----- options --------------------------------------------------------------
+
+unsigned
+defaultArchiveIoThreads()
+{
+    return campaignJobs();
+}
+
+unsigned
+ArchiveIoOptions::resolvedIoThreads() const
+{
+    return ioThreads ? ioThreads : defaultArchiveIoThreads();
+}
 
 // ----- errors ---------------------------------------------------------------
 
@@ -419,27 +465,68 @@ ArchiveWriter::write(const Recording &rec)
                   .counterBits()
             : 0;
 
-    Boundary prev; // zero state
-    prev.committed.assign(n, 0);
-    prev.ioIdx.assign(n, 0);
-    const Boundary end = boundaryAtEnd(rec);
+    Boundary zero; // state before the first segment
+    zero.committed.assign(n, 0);
+    zero.ioIdx.assign(n, 0);
 
+    // Boundary chain first, serially: checkpoint-alignment errors
+    // surface here in segment order, exactly as they always have.
     const std::size_t seg_count = rec.checkpoints.size() + 1;
+    std::vector<Boundary> bounds;
+    bounds.reserve(seg_count + 1);
+    bounds.push_back(std::move(zero));
+    for (std::size_t i = 0; i < rec.checkpoints.size(); ++i)
+        bounds.push_back(
+            boundaryAtCheckpoint(rec, rec.checkpoints[i], i));
+    bounds.push_back(boundaryAtEnd(rec));
+
+    // Fan payload build + LZ77 + CRC across the codec pool. Segments
+    // are independent given their boundaries; the commit loop below
+    // emits them in segment order, so the container bytes are
+    // identical at any ioThreads (and with ioThreads=1 the pool runs
+    // inline on this thread — the serial path *is* the 1-thread
+    // case). The first failing segment's error is rethrown, lowest
+    // index first, independent of worker scheduling.
+    struct PackedSegment
+    {
+        std::uint64_t rawBytes = 0;
+        std::vector<std::uint8_t> comp;
+        std::uint64_t crc = 0;
+    };
+    std::vector<PackedSegment> packed(seg_count);
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(seg_count);
+        for (std::size_t i = 0; i < seg_count; ++i) {
+            tasks.push_back([&rec, &bounds, &packed, i] {
+                const std::string raw = buildSegmentPayload(
+                    rec, bounds[i], bounds[i + 1]);
+                PackedSegment &seg = packed[i];
+                seg.rawBytes = raw.size();
+                seg.comp = compressPayload(raw);
+                seg.crc = crc32(seg.comp.data(), seg.comp.size());
+            });
+        }
+        WorkerPool pool(io_.resolvedIoThreads());
+        std::vector<std::exception_ptr> errors;
+        runIndexed(pool, std::move(tasks), errors);
+        for (const std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+    }
+
     for (std::size_t i = 0; i < seg_count; ++i) {
         const bool tail = i == rec.checkpoints.size();
-        const Boundary cur =
-            tail ? end
-                 : boundaryAtCheckpoint(rec, rec.checkpoints[i], i);
-
-        const std::string raw = buildSegmentPayload(rec, prev, cur);
-        const std::vector<std::uint8_t> comp = compressPayload(raw);
+        const Boundary &prev = bounds[i];
+        const Boundary &cur = bounds[i + 1];
+        PackedSegment &seg = packed[i];
 
         ArchiveSegmentInfo info;
         info.endGcc = cur.gcc;
         info.fileOffset = offset_;
-        info.rawBytes = raw.size();
-        info.compBytes = comp.size();
-        info.crc32 = crc32(comp.data(), comp.size());
+        info.rawBytes = seg.rawBytes;
+        info.compBytes = seg.comp.size();
+        info.crc32 = seg.crc;
         if (!rec.stratified()
             && rec.mode.mode != ExecMode::kPicoLog) {
             for (std::uint64_t g = prev.gcc;
@@ -478,9 +565,11 @@ ArchiveWriter::write(const Recording &rec)
         putU64(info.rawBytes);
         putU64(info.compBytes);
         putU64(info.crc32);
-        putBytes(comp.data(), comp.size());
+        putBytes(seg.comp.data(), seg.comp.size());
         segments_.push_back(std::move(info));
-        prev = cur;
+        // Committed; release the payload instead of holding every
+        // segment's compressed bytes until the loop ends.
+        std::vector<std::uint8_t>().swap(seg.comp);
     }
 
     // Footer: metadata + segment index, compressed like the segments.
@@ -539,19 +628,21 @@ ArchiveWriter::write(const Recording &rec)
 }
 
 void
-writeArchive(const Recording &rec, std::ostream &out)
+writeArchive(const Recording &rec, std::ostream &out,
+             const ArchiveIoOptions &io)
 {
-    ArchiveWriter writer(out);
+    ArchiveWriter writer(out, io);
     writer.write(rec);
 }
 
 void
-writeArchiveFile(const Recording &rec, const std::string &path)
+writeArchiveFile(const Recording &rec, const std::string &path,
+                 const ArchiveIoOptions &io)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
         throw std::runtime_error("cannot open " + path + " for write");
-    writeArchive(rec, out);
+    writeArchive(rec, out, io);
 }
 
 // ----- reader ---------------------------------------------------------------
@@ -577,61 +668,91 @@ ArchiveReader::fileLooksLikeArchive(const std::string &path)
     return in && looksLikeArchive(head, 8);
 }
 
+ArchiveReader::ArchiveReader(ArchiveReader &&) noexcept = default;
+ArchiveReader &
+ArchiveReader::operator=(ArchiveReader &&) noexcept = default;
+ArchiveReader::~ArchiveReader() = default;
+
 ArchiveReader
-ArchiveReader::fromBytes(std::vector<std::uint8_t> bytes)
+ArchiveReader::fromBytes(std::vector<std::uint8_t> bytes,
+                         const ArchiveIoOptions &io)
 {
     ArchiveReader reader;
-    reader.bytes_ = std::move(bytes);
+    reader.owned_ = std::move(bytes);
+    reader.data_ = reader.owned_.data();
+    reader.size_ = reader.owned_.size();
+    reader.io_ = io;
     reader.parse();
     return reader;
 }
 
 ArchiveReader
-ArchiveReader::fromFile(const std::string &path)
+ArchiveReader::fromFile(const std::string &path,
+                        const ArchiveIoOptions &io)
 {
+    if (io.mmapReads) {
+        ArchiveReader reader;
+        if (reader.map_.open(path)) {
+            reader.data_ = reader.map_.data();
+            reader.size_ = reader.map_.size();
+            reader.io_ = io;
+            reader.parse();
+            return reader;
+        }
+        // Fall through to the buffered path: mapping is best-effort
+        // and both paths parse and fail identically.
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw std::runtime_error("cannot open " + path);
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
-    return fromBytes(std::move(bytes));
+    return fromBytes(std::move(bytes), io);
+}
+
+WorkerPool &
+ArchiveReader::ioPool() const
+{
+    if (!pool_)
+        pool_ = std::make_unique<WorkerPool>(io_.resolvedIoThreads());
+    return *pool_;
 }
 
 void
 ArchiveReader::parse()
 {
-    if (bytes_.size() < kHeaderBytes
-        || readU64At(bytes_, 0) != kArchiveMagic)
+    if (size_ < kHeaderBytes
+        || readU64At(data_, 0) != kArchiveMagic)
         throw ArchiveError(ArchiveSection::kFileHeader,
                            ArchiveError::kNoSegment,
                            "not a DeLorean archive");
-    if (readU64At(bytes_, 8) != kArchiveVersion)
+    if (readU64At(data_, 8) != kArchiveVersion)
         throw ArchiveError(ArchiveSection::kFileHeader,
                            ArchiveError::kNoSegment,
                            "unsupported archive version "
-                               + std::to_string(readU64At(bytes_, 8)));
-    if (bytes_.size() < kHeaderBytes + kTrailerBytes)
+                               + std::to_string(readU64At(data_, 8)));
+    if (size_ < kHeaderBytes + kTrailerBytes)
         throw ArchiveError(ArchiveSection::kTrailer,
                            ArchiveError::kNoSegment,
                            "file too small for a trailer");
 
-    const std::size_t trailer = bytes_.size() - kTrailerBytes;
-    if (readU64At(bytes_, trailer + 32) != kArchiveEndMagic)
+    const std::size_t trailer = size_ - kTrailerBytes;
+    if (readU64At(data_, trailer + 32) != kArchiveEndMagic)
         throw ArchiveError(ArchiveSection::kTrailer,
                            ArchiveError::kNoSegment,
                            "end magic missing (truncated archive?)");
-    const std::uint64_t footer_offset = readU64At(bytes_, trailer);
-    const std::uint64_t footer_comp = readU64At(bytes_, trailer + 8);
-    const std::uint64_t footer_raw = readU64At(bytes_, trailer + 16);
-    const std::uint64_t footer_crc = readU64At(bytes_, trailer + 24);
-    if (footer_offset < kHeaderBytes || footer_comp > bytes_.size()
+    const std::uint64_t footer_offset = readU64At(data_, trailer);
+    const std::uint64_t footer_comp = readU64At(data_, trailer + 8);
+    const std::uint64_t footer_raw = readU64At(data_, trailer + 16);
+    const std::uint64_t footer_crc = readU64At(data_, trailer + 24);
+    if (footer_offset < kHeaderBytes || footer_comp > size_
         || footer_offset + footer_comp > trailer)
         throw ArchiveError(ArchiveSection::kTrailer,
                            ArchiveError::kNoSegment,
                            "footer location out of bounds");
 
-    if (crc32(bytes_.data() + footer_offset,
+    if (crc32(data_ + footer_offset,
               static_cast<std::size_t>(footer_comp))
         != footer_crc)
         throw ArchiveError(ArchiveSection::kFooter,
@@ -641,10 +762,9 @@ ArchiveReader::parse()
     std::vector<std::uint8_t> raw;
     try {
         const Lz77 codec;
-        raw = codec.decompress(std::vector<std::uint8_t>(
-            bytes_.begin() + static_cast<long>(footer_offset),
-            bytes_.begin()
-                + static_cast<long>(footer_offset + footer_comp)));
+        raw = codec.decompress(
+            data_ + footer_offset,
+            static_cast<std::size_t>(footer_comp));
     } catch (const RecordingFormatError &e) {
         throw ArchiveError(ArchiveSection::kFooter,
                            ArchiveError::kNoSegment, e.what());
@@ -727,7 +847,7 @@ ArchiveReader::parse()
     for (std::size_t i = 0; i < segments_.size(); ++i) {
         const ArchiveSegmentInfo &info = segments_[i];
         if (info.fileOffset < kHeaderBytes
-            || info.compBytes > bytes_.size()
+            || info.compBytes > size_
             || info.fileOffset + kSegmentHeaderBytes + info.compBytes
                    > footer_offset)
             throw ArchiveError(ArchiveSection::kFooter,
@@ -782,24 +902,23 @@ ArchiveReader::segmentPayload(std::size_t index) const
     const ArchiveSegmentInfo &info = segments_[index];
     const std::size_t off =
         static_cast<std::size_t>(info.fileOffset);
-    if (readU64At(bytes_, off) != kSegmentMagic)
+    if (readU64At(data_, off) != kSegmentMagic)
         throw ArchiveError(ArchiveSection::kSegment, index,
                            "segment magic missing at offset "
                                + std::to_string(off));
-    if (readU64At(bytes_, off + 8) != index)
+    if (readU64At(data_, off + 8) != index)
         throw ArchiveError(ArchiveSection::kSegment, index,
                            "segment header id "
-                               + std::to_string(readU64At(bytes_,
+                               + std::to_string(readU64At(data_,
                                                           off + 8))
                                + " disagrees with the index");
-    if (readU64At(bytes_, off + 16) != info.rawBytes
-        || readU64At(bytes_, off + 24) != info.compBytes
-        || readU64At(bytes_, off + 32) != info.crc32)
+    if (readU64At(data_, off + 16) != info.rawBytes
+        || readU64At(data_, off + 24) != info.compBytes
+        || readU64At(data_, off + 32) != info.crc32)
         throw ArchiveError(ArchiveSection::kSegment, index,
                            "segment header disagrees with the footer "
                            "index");
-    const std::uint8_t *payload =
-        bytes_.data() + off + kSegmentHeaderBytes;
+    const std::uint8_t *payload = data_ + off + kSegmentHeaderBytes;
     if (crc32(payload, static_cast<std::size_t>(info.compBytes))
         != info.crc32)
         throw ArchiveError(ArchiveSection::kSegment, index,
@@ -807,8 +926,8 @@ ArchiveReader::segmentPayload(std::size_t index) const
     std::vector<std::uint8_t> raw;
     try {
         const Lz77 codec;
-        raw = codec.decompress(std::vector<std::uint8_t>(
-            payload, payload + info.compBytes));
+        raw = codec.decompress(
+            payload, static_cast<std::size_t>(info.compBytes));
     } catch (const RecordingFormatError &e) {
         throw ArchiveError(ArchiveSection::kSegment, index, e.what());
     }
@@ -930,12 +1049,33 @@ ArchiveReader::readAll() const
                                       workload_seed_,
                                       iterations_percent_);
     std::vector<std::uint64_t> io_base(machine_.numProcs, 0);
-    for (std::size_t i = 0; i < segments_.size(); ++i) {
-        const SegmentSlice slice =
-            decodeSegment(segmentPayload(i), machine_.numProcs, i);
-        appendSlice(rec, slice, io_base, i, /*use_masks=*/true);
-        if (segments_[i].hasCheckpoint)
-            rec.checkpoints.push_back(segments_[i].checkpoint);
+
+    // CRC + decompress + parse every segment in parallel, then append
+    // in segment order. Each segment's decode error (or successful
+    // slice) lands in its own slot, and the append loop consumes the
+    // slots in order — the first error to surface is the one the old
+    // serial decode-then-append loop would have hit, at any ioThreads.
+    const std::size_t count = segments_.size();
+    std::vector<SegmentSlice> slices(count);
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            tasks.push_back([this, &slices, i] {
+                slices[i] = decodeSegment(segmentPayload(i),
+                                          machine_.numProcs, i);
+            });
+        std::vector<std::exception_ptr> errors;
+        runIndexed(ioPool(), std::move(tasks), errors);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+            appendSlice(rec, slices[i], io_base, i,
+                        /*use_masks=*/true);
+            slices[i] = SegmentSlice(); // free as we go
+            if (segments_[i].hasCheckpoint)
+                rec.checkpoints.push_back(segments_[i].checkpoint);
+        }
     }
     rec.fingerprint.perProcAcc = per_proc_acc_;
     rec.fingerprint.perProcRetired = per_proc_retired_;
@@ -1018,10 +1158,26 @@ ArchiveReader::readInterval(std::size_t from, std::size_t to) const
     std::vector<std::uint64_t> io_base;
     for (const ThreadContext &ctx : start.contexts)
         io_base.push_back(ctx.ioLoadCount);
-    for (std::size_t i = from + 1; i <= last_seg; ++i) {
-        const SegmentSlice slice =
-            decodeSegment(segmentPayload(i), n, i);
-        appendSlice(rec, slice, io_base, i, /*use_masks=*/false);
+    const std::size_t first = from + 1;
+    const std::size_t count = last_seg - from;
+    std::vector<SegmentSlice> slices(count);
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(count);
+        for (std::size_t k = 0; k < count; ++k)
+            tasks.push_back([this, &slices, first, n, k] {
+                slices[k] = decodeSegment(segmentPayload(first + k),
+                                          n, first + k);
+            });
+        std::vector<std::exception_ptr> errors;
+        runIndexed(ioPool(), std::move(tasks), errors);
+        for (std::size_t k = 0; k < count; ++k) {
+            if (errors[k])
+                std::rethrow_exception(errors[k]);
+            appendSlice(rec, slices[k], io_base, first + k,
+                        /*use_masks=*/false);
+            slices[k] = SegmentSlice();
+        }
     }
 
     rec.fingerprint.perProcAcc = per_proc_acc_;

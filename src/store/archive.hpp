@@ -36,15 +36,50 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/errors.hpp"
 #include "core/checkpoint.hpp"
 #include "core/recording.hpp"
+#include "store/mmap_file.hpp"
 
 namespace delorean
 {
+
+class WorkerPool;
+
+/**
+ * Data-plane knobs for archive I/O.
+ *
+ * Segments are independent by construction, so their LZ77
+ * compression (writer) and CRC-check + decompression + parse
+ * (reader) fan out over a WorkerPool; commit order is always segment
+ * order, so container bytes and reassembled recordings are identical
+ * at any thread count. mmapReads selects the zero-copy read path for
+ * file-backed readers: the container is mapped once and payloads are
+ * decoded straight out of the mapping, falling back to buffered
+ * reads when mapping fails or the platform has no mmap.
+ */
+struct ArchiveIoOptions
+{
+    /// Codec worker count; 0 resolves to defaultArchiveIoThreads().
+    unsigned ioThreads = 0;
+
+    /// File-backed readers try mmap first (ignored by fromBytes).
+    bool mmapReads = true;
+
+    /** ioThreads with the 0-default resolved. */
+    unsigned resolvedIoThreads() const;
+};
+
+/**
+ * Default codec worker count: the DELOREAN_JOBS environment variable
+ * if set to a positive integer, otherwise the host's hardware
+ * concurrency (at least 1) — the same resolution campaigns use.
+ */
+unsigned defaultArchiveIoThreads();
 
 /** Structural region of an archive file an error can point at. */
 enum class ArchiveSection
@@ -113,7 +148,11 @@ struct ArchiveSegmentInfo
 class ArchiveWriter
 {
   public:
-    explicit ArchiveWriter(std::ostream &out) : out_(&out) {}
+    explicit ArchiveWriter(std::ostream &out,
+                           const ArchiveIoOptions &io = {})
+        : out_(&out), io_(io)
+    {
+    }
 
     /** Write the whole archive. Call once. */
     void write(const Recording &rec);
@@ -123,6 +162,7 @@ class ArchiveWriter
 
   private:
     std::ostream *out_;
+    ArchiveIoOptions io_;
     std::uint64_t offset_ = 0;
     std::vector<ArchiveSegmentInfo> segments_;
 
@@ -131,10 +171,12 @@ class ArchiveWriter
 };
 
 /** Archive @p rec to @p out. */
-void writeArchive(const Recording &rec, std::ostream &out);
+void writeArchive(const Recording &rec, std::ostream &out,
+                  const ArchiveIoOptions &io = {});
 
 /** Archive @p rec to file @p path. */
-void writeArchiveFile(const Recording &rec, const std::string &path);
+void writeArchiveFile(const Recording &rec, const std::string &path,
+                      const ArchiveIoOptions &io = {});
 
 /**
  * Random-access archive reader. Construction parses and integrity-
@@ -145,8 +187,25 @@ void writeArchiveFile(const Recording &rec, const std::string &path);
 class ArchiveReader
 {
   public:
-    static ArchiveReader fromBytes(std::vector<std::uint8_t> bytes);
-    static ArchiveReader fromFile(const std::string &path);
+    static ArchiveReader fromBytes(std::vector<std::uint8_t> bytes,
+                                   const ArchiveIoOptions &io = {});
+
+    /**
+     * Open @p path: mmap'ed zero-copy when io.mmapReads is set and
+     * the platform cooperates, buffered otherwise. Both paths parse,
+     * CRC-check, and fail identically.
+     */
+    static ArchiveReader fromFile(const std::string &path,
+                                  const ArchiveIoOptions &io = {});
+
+    // Out of line: the codec pool member is only forward-declared
+    // here, so the special members must live where it is complete.
+    ArchiveReader(ArchiveReader &&) noexcept;
+    ArchiveReader &operator=(ArchiveReader &&) noexcept;
+    ~ArchiveReader();
+
+    /** True when this reader decodes straight out of an mmap. */
+    bool usingMmap() const { return map_.mapped(); }
 
     /** True if @p bytes starts with the archive magic. */
     static bool looksLikeArchive(const std::uint8_t *bytes,
@@ -203,8 +262,21 @@ class ArchiveReader
     void parse();
     /// Decode + verify one segment payload; returns raw bytes.
     std::vector<std::uint8_t> segmentPayload(std::size_t index) const;
+    /// The pool backing parallel segment decode (lazily built).
+    WorkerPool &ioPool() const;
 
-    std::vector<std::uint8_t> bytes_;
+    /// Container bytes: owned_ (fromBytes / buffered fromFile) or
+    /// map_ (zero-copy fromFile); data_/size_ view whichever is live.
+    std::vector<std::uint8_t> owned_;
+    MappedFile map_;
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    ArchiveIoOptions io_;
+    /// Lazily constructed; reused across readAll/readInterval calls
+    /// on one reader. Readers are not internally synchronized — use
+    /// one reader per thread, like any const-method-only class with
+    /// lazy state.
+    mutable std::unique_ptr<WorkerPool> pool_;
     MachineConfig machine_;
     ModeConfig mode_;
     std::string app_name_;

@@ -1,0 +1,95 @@
+#include "store/mmap_file.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DELOREAN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DELOREAN_HAVE_MMAP 0
+#endif
+
+namespace delorean
+{
+
+MappedFile::~MappedFile()
+{
+    close();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        mapped_ = std::exchange(other.mapped_, false);
+    }
+    return *this;
+}
+
+bool
+MappedFile::supported()
+{
+    return DELOREAN_HAVE_MMAP != 0;
+}
+
+void
+MappedFile::close()
+{
+#if DELOREAN_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+}
+
+bool
+MappedFile::open(const std::string &path)
+{
+    close();
+#if DELOREAN_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return false;
+    }
+    if (st.st_size == 0) {
+        // mmap rejects length 0; an empty file is a valid (empty)
+        // span so the error behavior matches the buffered path.
+        ::close(fd);
+        mapped_ = true;
+        return true;
+    }
+    void *map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        return false;
+    data_ = static_cast<const std::uint8_t *>(map);
+    size_ = static_cast<std::size_t>(st.st_size);
+    mapped_ = true;
+    return true;
+#else
+    (void)path;
+    return false;
+#endif
+}
+
+} // namespace delorean

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Read-only memory-mapped file wrapper for the zero-copy archive read
+ * path.
+ *
+ * MappedFile maps a whole file PROT_READ/MAP_PRIVATE and exposes it as
+ * a byte span; ArchiveReader decodes segment payloads and verifies
+ * CRCs directly out of the mapping, so a seek-to-interval replay never
+ * copies the container through a buffered read. Mapping is strictly
+ * best-effort: open() returns false on any failure (no such file,
+ * platform without mmap, map quota, ...) and the caller falls back to
+ * buffered reads — the two paths are required to produce identical
+ * bytes and identical typed errors, which tests/test_archive_faults
+ * asserts.
+ *
+ * A zero-byte file "maps" successfully as an empty span (mmap itself
+ * rejects length 0), so the empty-input error behavior matches the
+ * buffered path exactly.
+ */
+
+#ifndef DELOREAN_STORE_MMAP_FILE_HPP_
+#define DELOREAN_STORE_MMAP_FILE_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace delorean
+{
+
+/** Read-only mapping of one file. Movable, not copyable. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+
+    /**
+     * Map @p path read-only. Returns false (and stays unmapped) on
+     * any failure; a previous mapping is released first. True on
+     * platforms without mmap support is never returned.
+     */
+    bool open(const std::string &path);
+
+    /** Release the mapping (idempotent). */
+    void close();
+
+    /** True after a successful open(), including a 0-byte file. */
+    bool mapped() const { return mapped_; }
+
+    /** Start of the mapped bytes (nullptr for a 0-byte file). */
+    const std::uint8_t *data() const { return data_; }
+
+    std::size_t size() const { return size_; }
+
+    /** True when the build has an mmap implementation at all. */
+    static bool supported();
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_STORE_MMAP_FILE_HPP_

@@ -119,6 +119,18 @@ runOne(const DifferentialJob &job, const std::string &label,
             std::ostringstream abuf;
             writeArchive(rec, abuf);
             const std::string abytes = std::move(abuf).str();
+
+            // The parallel segment codec must be invisible in the
+            // container: re-archive with a forced serial codec and a
+            // forced 4-worker codec and demand byte identity.
+            std::ostringstream aserial;
+            writeArchive(rec, aserial, ArchiveIoOptions{1, true});
+            std::ostringstream apar;
+            writeArchive(rec, apar, ArchiveIoOptions{4, true});
+            run.archiveParallelWriteIdentical =
+                std::move(aserial).str() == abytes
+                && std::move(apar).str() == abytes;
+
             const ArchiveReader reader = ArchiveReader::fromBytes(
                 {abytes.begin(), abytes.end()});
             run.archiveCheckpoints = reader.checkpointCount();
@@ -282,6 +294,7 @@ DifferentialResult::describe() const
         if (r.archiveCheckpoints != 0 || r.archiveRoundTripIdentical)
             out << " archive="
                 << (r.archiveRoundTripIdentical && r.archiveIntervalsOk
+                            && r.archiveParallelWriteIdentical
                         ? "ok"
                         : "DIVERGED")
                 << "(" << r.archiveCheckpoints << " ckpts)";
@@ -370,6 +383,9 @@ DifferentialChecker::check(const DifferentialJob &job) const
             if (!r.archiveIntervalsOk)
                 fail(r.label + ": interval replay off the archive "
                      "diverged from the recording");
+            if (!r.archiveParallelWriteIdentical)
+                fail(r.label + ": parallel-codec archive bytes differ "
+                     "from the serially written container");
         }
     }
     if (!result.failures.empty())

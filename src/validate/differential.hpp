@@ -126,6 +126,10 @@ struct DifferentialRun
     /// recording from *every* checkpoint (per-processor comparison
     /// for stratified logs).
     bool archiveIntervalsOk = false;
+    /// The container written with a multi-thread segment codec is
+    /// byte-identical to the one written serially (ioThreads = 1) —
+    /// the parallel data plane must never change the bytes.
+    bool archiveParallelWriteIdentical = false;
     /// Checkpoints the record run took (archive segments minus one).
     std::size_t archiveCheckpoints = 0;
     /// True when the recording carries PI shard masks (job.shards > 1

@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <sstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
@@ -637,12 +643,76 @@ classifyRecording(const Recording &rec, const ReplayCheckOptions &opts,
     return MutantOutcome::kUnexpected;
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+#define DELOREAN_FAULT_TMPFILE 1
+#else
+#define DELOREAN_FAULT_TMPFILE 0
+#endif
+
+#if DELOREAN_FAULT_TMPFILE
+/**
+ * Scratch file for the mmap sweep leg. Unlinked on destruction; on
+ * POSIX an mmap of the file stays valid after the unlink, so the
+ * reader may outlive this object.
+ */
+struct TempArchiveFile
+{
+    std::string path;
+    bool ok = false;
+
+    explicit TempArchiveFile(const std::vector<std::uint8_t> &bytes)
+    {
+        char name[] = "/tmp/delorean-mutant-XXXXXX";
+        const int fd = ::mkstemp(name);
+        if (fd < 0)
+            return;
+        path = name;
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t w = ::write(fd, bytes.data() + off,
+                                      bytes.size() - off);
+            if (w <= 0) {
+                ::close(fd);
+                return;
+            }
+            off += static_cast<std::size_t>(w);
+        }
+        ::close(fd);
+        ok = true;
+    }
+
+    ~TempArchiveFile()
+    {
+        if (!path.empty())
+            ::unlink(path.c_str());
+    }
+};
+#endif
+
+/** Open the mutant through the requested reader entry point. */
+ArchiveReader
+loadMutant(const std::vector<std::uint8_t> &mutated,
+           ArchiveLoadPath load_path)
+{
+#if DELOREAN_FAULT_TMPFILE
+    if (load_path == ArchiveLoadPath::kMmapFile) {
+        const TempArchiveFile tmp(mutated);
+        if (tmp.ok)
+            return ArchiveReader::fromFile(tmp.path, {});
+    }
+#else
+    (void)load_path;
+#endif
+    return ArchiveReader::fromBytes(mutated);
+}
+
 } // namespace
 
 ArchiveMutantResult
 runArchiveMutant(const std::vector<std::uint8_t> &archive,
                  ArchiveMutationKind kind, std::uint64_t seed,
-                 const ReplayCheckOptions &opts)
+                 const ReplayCheckOptions &opts,
+                 ArchiveLoadPath load_path)
 {
     ArchiveMutantResult result;
     result.kind = kind;
@@ -656,7 +726,7 @@ runArchiveMutant(const std::vector<std::uint8_t> &archive,
     std::size_t checkpoints = 0;
     std::optional<ArchiveReader> reader;
     try {
-        reader = ArchiveReader::fromBytes(mutated);
+        reader = loadMutant(mutated, load_path);
         checkpoints = reader->checkpointCount();
         full = reader->readAll();
     } catch (const ArchiveError &e) {
@@ -725,7 +795,8 @@ runArchiveMutant(const std::vector<std::uint8_t> &archive,
 ArchiveFaultSweepSummary
 runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                      std::uint64_t seed0,
-                     const ReplayCheckOptions &opts)
+                     const ReplayCheckOptions &opts,
+                     ArchiveLoadPath load_path)
 {
     std::ostringstream buf;
     writeArchive(rec, buf);
@@ -739,7 +810,7 @@ runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                 seed0 * 1'000'003ull + k * 104'729ull + i;
             summary.add(runArchiveMutant(
                 archive, static_cast<ArchiveMutationKind>(k), seed,
-                opts));
+                opts, load_path));
         }
     }
     return summary;

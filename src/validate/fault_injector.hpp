@@ -184,6 +184,19 @@ struct ArchiveFaultSweepSummary
 };
 
 /**
+ * Which ArchiveReader entry point a sweep pushes its mutants through.
+ * Both are required to produce identical typed errors on identical
+ * bytes; sweeping each path certifies that the zero-copy mmap reader
+ * fences corruption exactly like the buffered one.
+ */
+enum class ArchiveLoadPath : std::uint8_t
+{
+    kBuffered, ///< ArchiveReader::fromBytes on an in-memory copy
+    kMmapFile, ///< write to a temp file, ArchiveReader::fromFile with
+               ///< mmap enabled (buffered fallback where unsupported)
+};
+
+/**
  * Run one archive mutant: mutate @p archive, then drive the full
  * reader pipeline — parse, readAll(), checked replay, and (when the
  * mutant still exposes checkpoints) an interval-replay leg through
@@ -194,7 +207,8 @@ struct ArchiveFaultSweepSummary
 ArchiveMutantResult
 runArchiveMutant(const std::vector<std::uint8_t> &archive,
                  ArchiveMutationKind kind, std::uint64_t seed,
-                 const ReplayCheckOptions &opts = {});
+                 const ReplayCheckOptions &opts = {},
+                 ArchiveLoadPath load_path = ArchiveLoadPath::kBuffered);
 
 /**
  * Sweep @p mutants_per_kind archive mutants of every kind over the
@@ -204,7 +218,9 @@ runArchiveMutant(const std::vector<std::uint8_t> &archive,
 ArchiveFaultSweepSummary
 runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                      std::uint64_t seed0,
-                     const ReplayCheckOptions &opts = {});
+                     const ReplayCheckOptions &opts = {},
+                     ArchiveLoadPath load_path =
+                         ArchiveLoadPath::kBuffered);
 
 } // namespace delorean
 

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -87,6 +89,30 @@ TEST_P(ArchiveFaultSweep, MutantsNeverCrashHangOrLie)
     EXPECT_GT(sweep.replayedIdentically + sweep.divergenceDetected
                   + sweep.replayErrorReported,
               0u)
+        << name;
+}
+
+TEST_P(ArchiveFaultSweep, MmapPathFencesMutantsIdentically)
+{
+    // Same 540 mutants, pushed through fromFile with mmap enabled:
+    // the zero-copy reader must classify every mutant exactly like
+    // the buffered reader — same outcome buckets, zero unexpected.
+    const auto [name, mode] = current();
+    const Recording rec = record(mode);
+    const ArchiveFaultSweepSummary buffered = runArchiveFaultSweep(
+        rec, kMutantsPerKind, /*seed0=*/kSeed, {},
+        ArchiveLoadPath::kBuffered);
+    const ArchiveFaultSweepSummary mapped = runArchiveFaultSweep(
+        rec, kMutantsPerKind, /*seed0=*/kSeed, {},
+        ArchiveLoadPath::kMmapFile);
+    EXPECT_TRUE(mapped.ok()) << name << ": " << mapped.describe();
+    EXPECT_EQ(mapped.total, buffered.total) << name;
+    EXPECT_EQ(mapped.rejectedAtLoad, buffered.rejectedAtLoad) << name;
+    EXPECT_EQ(mapped.replayedIdentically, buffered.replayedIdentically)
+        << name;
+    EXPECT_EQ(mapped.divergenceDetected, buffered.divergenceDetected)
+        << name;
+    EXPECT_EQ(mapped.replayErrorReported, buffered.replayErrorReported)
         << name;
 }
 
@@ -167,6 +193,139 @@ TEST(ArchiveFaults, IndexCorruptionNeverEscapesDetection)
     // checkpoint/GCC agreement, ...). Both buckets must be hit.
     EXPECT_GT(rejected, 0u);
     EXPECT_GT(survived, 0u);
+}
+
+/** One reader path's verdict on a file, for cross-path comparison. */
+struct LoadOutcome
+{
+    bool ok = false;
+    bool archiveError = false;
+    bool formatError = false;
+    ArchiveSection section = ArchiveSection::kFileHeader;
+    std::size_t segment = ArchiveError::kNoSegment;
+    std::string message;
+
+    bool
+    operator==(const LoadOutcome &other) const
+    {
+        return ok == other.ok && archiveError == other.archiveError
+               && formatError == other.formatError
+               && section == other.section && segment == other.segment
+               && message == other.message;
+    }
+};
+
+LoadOutcome
+loadFileOutcome(const std::string &path, bool mmap_reads)
+{
+    LoadOutcome o;
+    try {
+        ArchiveReader::fromFile(path, ArchiveIoOptions{1, mmap_reads})
+            .readAll();
+        o.ok = true;
+    } catch (const ArchiveError &e) {
+        o.archiveError = true;
+        o.section = e.section();
+        o.segment = e.segment();
+        o.message = e.what();
+    } catch (const RecordingFormatError &e) {
+        o.formatError = true;
+        o.message = e.what();
+    }
+    return o;
+}
+
+std::string
+writeTemp(const std::vector<std::uint8_t> &bytes, const char *name)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+/**
+ * Failure edges of the zero-copy read path: a 0-byte file, files
+ * truncated mid-segment and mid-footer, and a CRC-corrupt payload
+ * must each produce the *same* typed error through the mmap reader
+ * as through the buffered one (which itself matches fromBytes — the
+ * sweep above certifies that).
+ */
+TEST(ArchiveFaults, MmapFailureEdgesMatchBufferedReads)
+{
+    const Recording rec = record(ModeConfig::orderOnly());
+    const std::vector<std::uint8_t> bytes = archive(rec);
+    const ArchiveReader intact = ArchiveReader::fromBytes(bytes);
+    ASSERT_GE(intact.segments().size(), 2u);
+
+    // 0-byte file: MappedFile maps it as an empty span, so both
+    // paths reject it as a header error, not an open failure.
+    {
+        const std::string path = writeTemp({}, "edge_empty.dla");
+        const LoadOutcome mapped = loadFileOutcome(path, true);
+        const LoadOutcome buffered = loadFileOutcome(path, false);
+        EXPECT_TRUE(mapped.archiveError) << mapped.message;
+        EXPECT_EQ(mapped.section, ArchiveSection::kFileHeader);
+        EXPECT_TRUE(mapped == buffered) << mapped.message << " vs "
+                                        << buffered.message;
+        std::remove(path.c_str());
+    }
+
+    // Truncated mid-segment: cut inside segment 1's payload.
+    {
+        const std::size_t cut = static_cast<std::size_t>(
+            intact.segments()[1].fileOffset + 40 + 3);
+        ASSERT_LT(cut, bytes.size());
+        const std::vector<std::uint8_t> cut_bytes(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+        const std::string path =
+            writeTemp(cut_bytes, "edge_midseg.dla");
+        const LoadOutcome mapped = loadFileOutcome(path, true);
+        const LoadOutcome buffered = loadFileOutcome(path, false);
+        EXPECT_TRUE(mapped.archiveError) << mapped.message;
+        EXPECT_EQ(mapped.section, ArchiveSection::kTrailer);
+        EXPECT_TRUE(mapped == buffered) << mapped.message << " vs "
+                                        << buffered.message;
+        std::remove(path.c_str());
+    }
+
+    // Truncated mid-footer: drop the last 8 trailer bytes.
+    {
+        const std::vector<std::uint8_t> cut_bytes(
+            bytes.begin(),
+            bytes.begin()
+                + static_cast<std::ptrdiff_t>(bytes.size() - 8));
+        const std::string path =
+            writeTemp(cut_bytes, "edge_midfooter.dla");
+        const LoadOutcome mapped = loadFileOutcome(path, true);
+        const LoadOutcome buffered = loadFileOutcome(path, false);
+        EXPECT_TRUE(mapped.archiveError) << mapped.message;
+        EXPECT_EQ(mapped.section, ArchiveSection::kTrailer);
+        EXPECT_TRUE(mapped == buffered) << mapped.message << " vs "
+                                        << buffered.message;
+        std::remove(path.c_str());
+    }
+
+    // CRC-corrupt payload: flip one byte in segment 0's payload. The
+    // file parses; readAll must fail with a typed segment error — on
+    // both paths, with the same segment id.
+    {
+        std::vector<std::uint8_t> corrupt = bytes;
+        corrupt[static_cast<std::size_t>(
+            intact.segments()[0].fileOffset + 40)] ^= 0x10;
+        const std::string path =
+            writeTemp(corrupt, "edge_crc.dla");
+        const LoadOutcome mapped = loadFileOutcome(path, true);
+        const LoadOutcome buffered = loadFileOutcome(path, false);
+        EXPECT_TRUE(mapped.archiveError) << mapped.message;
+        EXPECT_EQ(mapped.section, ArchiveSection::kSegment);
+        EXPECT_EQ(mapped.segment, 0u);
+        EXPECT_TRUE(mapped == buffered) << mapped.message << " vs "
+                                        << buffered.message;
+        std::remove(path.c_str());
+    }
 }
 
 TEST(ArchiveFaults, MutationsAreDeterministic)

@@ -189,6 +189,147 @@ TEST(Lz77Stream, IncompressibleInput)
     EXPECT_EQ(codec.decompress(streamed), input);
 }
 
+/**
+ * Corpora with deliberately different match structure: empty, text
+ * with long repeats, constant (overlapping matches), short periodic,
+ * pure random, and the random/repeat mixture the round-trip tests
+ * use. The bench corpora are drawn from the same families.
+ */
+std::vector<std::vector<std::uint8_t>>
+equivalenceCorpora()
+{
+    std::vector<std::vector<std::uint8_t>> corpora;
+    corpora.push_back({});
+    corpora.push_back(bytesOf(
+        "the quick brown fox jumps over the lazy dog and then "
+        "the quick brown fox jumps over the lazy dog again"));
+    corpora.push_back(std::vector<std::uint8_t>(6000, 0xAB));
+    {
+        std::vector<std::uint8_t> periodic;
+        for (int i = 0; i < 5000; ++i)
+            periodic.push_back(static_cast<std::uint8_t>(i % 7));
+        corpora.push_back(std::move(periodic));
+    }
+    {
+        Xoshiro256ss rng(5);
+        std::vector<std::uint8_t> random(4096);
+        for (auto &b : random)
+            b = static_cast<std::uint8_t>(rng.next());
+        corpora.push_back(std::move(random));
+    }
+    {
+        Xoshiro256ss rng(77);
+        std::vector<std::uint8_t> mixed(9000);
+        for (auto &b : mixed)
+            b = rng.chancePerMille(600)
+                    ? static_cast<std::uint8_t>(rng.below(4))
+                    : static_cast<std::uint8_t>(rng.next());
+        corpora.push_back(std::move(mixed));
+    }
+    return corpora;
+}
+
+/**
+ * The hash-chain searcher is required to be *exact*: same greedy
+ * longest match, same smallest-distance tie-break, hence the same
+ * token stream — byte for byte — as the O(window * len) scalar scan
+ * it replaced (kept as lz77_reference).
+ */
+TEST(Lz77Reference, HashChainIsByteIdenticalToScalarScan)
+{
+    for (const Lz77Config cfg :
+         {Lz77Config{}, Lz77Config{8, 3, 258}, Lz77Config{12, 3, 16}}) {
+        const Lz77 codec(cfg);
+        for (const auto &input : equivalenceCorpora()) {
+            const auto fast = codec.compress(input);
+            ASSERT_EQ(fast, lz77_reference::compress(input, cfg))
+                << "input size " << input.size() << " windowBits "
+                << cfg.windowBits;
+            EXPECT_EQ(codec.compressedBits(input),
+                      lz77_reference::compressedBits(input, cfg));
+            // And the word-wise decoder equals the historical
+            // bit-at-a-time one on the shared stream.
+            EXPECT_EQ(codec.decompress(fast),
+                      lz77_reference::decompress(fast, cfg));
+        }
+    }
+}
+
+TEST(Lz77Reference, StreamMatchesReferenceAtEveryPartition)
+{
+    // Lz77Stream -> one-shot Lz77 -> reference: equality must hold
+    // through the whole chain, for a partition that forces deferred
+    // tokenization across append boundaries.
+    const Lz77Config cfg;
+    const Lz77 codec(cfg);
+    Xoshiro256ss rng(91);
+    std::vector<std::uint8_t> input(7000);
+    for (auto &b : input)
+        b = rng.chancePerMille(700)
+                ? static_cast<std::uint8_t>(rng.below(5))
+                : static_cast<std::uint8_t>(rng.next());
+    Lz77Stream stream(cfg);
+    for (std::size_t i = 0; i < input.size(); i += 311)
+        stream.append(input.data() + i,
+                      std::min<std::size_t>(311, input.size() - i));
+    const auto streamed = stream.finish();
+    ASSERT_EQ(streamed, codec.compress(input));
+    ASSERT_EQ(streamed, lz77_reference::compress(input, cfg));
+}
+
+TEST(Lz77Stream, OneByteAppends)
+{
+    // Worst-case partition: every append is a single byte, so *every*
+    // match straddles an append boundary and the hash-chain state must
+    // carry across all of them.
+    Lz77 codec;
+    Xoshiro256ss rng(53);
+    std::vector<std::uint8_t> input(4000);
+    for (auto &b : input)
+        b = rng.chancePerMille(650)
+                ? static_cast<std::uint8_t>(rng.below(4))
+                : static_cast<std::uint8_t>(rng.next());
+    Lz77Stream stream;
+    for (const std::uint8_t b : input)
+        stream.append(&b, 1);
+    EXPECT_EQ(stream.rawBytes(), input.size());
+    const auto streamed = stream.finish();
+    ASSERT_EQ(streamed, codec.compress(input));
+    ASSERT_EQ(codec.decompress(streamed), input);
+}
+
+TEST(Lz77Stream, SplitsStraddlingEveryMatch)
+{
+    // A long repeated phrase partitioned so each cut lands *inside*
+    // the match against the previous occurrence: position p copies
+    // from p - 37, and appends split at every multiple of 37 +/- 1.
+    Lz77 codec;
+    std::vector<std::uint8_t> input;
+    const std::string phrase = "deterministic-replay-interleaving!";
+    while (input.size() < 5000)
+        input.insert(input.end(), phrase.begin(), phrase.end());
+    for (const std::size_t step : {36u, 37u, 38u, 1u}) {
+        Lz77Stream stream;
+        for (std::size_t i = 0; i < input.size(); i += step)
+            stream.append(input.data() + i,
+                          std::min<std::size_t>(step,
+                                                input.size() - i));
+        const auto streamed = stream.finish();
+        ASSERT_EQ(streamed, codec.compress(input)) << "step " << step;
+        ASSERT_EQ(codec.decompress(streamed), input);
+    }
+}
+
+TEST(Lz77, SpanDecompressMatchesVectorOverload)
+{
+    Lz77 codec;
+    const auto input = bytesOf("abcabcabcabc straddle straddle "
+                               "straddle xyz xyz xyz");
+    const auto comp = codec.compress(input);
+    EXPECT_EQ(codec.decompress(comp.data(), comp.size()), input);
+    EXPECT_EQ(codec.decompress(comp), input);
+}
+
 TEST(Lz77Stream, LongInputCrossesCompaction)
 {
     // Large enough that the stream's window compaction fires several

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/delorean.hpp"
@@ -270,6 +271,75 @@ TEST(Store, ArchiveFileRoundTrip)
     EXPECT_TRUE(ArchiveReader::fileLooksLikeArchive(path));
     const ArchiveReader reader = ArchiveReader::fromFile(path);
     EXPECT_EQ(savedBytes(reader.readAll()), savedBytes(rec));
+    std::remove(path.c_str());
+}
+
+TEST(Store, WriterByteIdenticalAcrossIoThreads)
+{
+    // The parallel segment codec commits in segment order, so the
+    // container bytes must not depend on the worker count — for any
+    // mode, including the default (DELOREAN_JOBS-resolved) options.
+    for (const auto &[mode_name, mode] : allModes()) {
+        Workload w("radix", 4, 9, WorkloadScale::tiny());
+        Recorder recorder(mode, machine());
+        const Recording rec = recorder.record(w, 1, true, {}, 20);
+        ASSERT_FALSE(rec.checkpoints.empty()) << mode_name;
+
+        const auto archivedWith = [&rec](const ArchiveIoOptions &io) {
+            std::ostringstream out(std::ios::binary);
+            writeArchive(rec, out, io);
+            return std::move(out).str();
+        };
+        const std::string serial =
+            archivedWith(ArchiveIoOptions{1, true});
+        for (const unsigned threads : {2u, 4u, 8u})
+            EXPECT_EQ(archivedWith(ArchiveIoOptions{threads, true}),
+                      serial)
+                << mode_name << " ioThreads=" << threads;
+        EXPECT_EQ(archivedWith(ArchiveIoOptions{}), serial)
+            << mode_name << " default options";
+    }
+}
+
+TEST(Store, FileReadsIdenticalAcrossMmapAndIoThreads)
+{
+    Workload w("ocean", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderAndSize(), machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 20);
+    ASSERT_GE(rec.checkpoints.size(), 2u);
+
+    const std::string path =
+        testing::TempDir() + "store_datapath_test.dla";
+    writeArchiveFile(rec, path);
+    const std::string expect = savedBytes(rec);
+
+    for (const bool mmap_reads : {true, false}) {
+        for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+            const ArchiveReader reader = ArchiveReader::fromFile(
+                path, ArchiveIoOptions{threads, mmap_reads});
+            if (!mmap_reads) {
+                EXPECT_FALSE(reader.usingMmap());
+            } else if (MappedFile::supported()) {
+                EXPECT_TRUE(reader.usingMmap());
+            }
+            ASSERT_EQ(savedBytes(reader.readAll()), expect)
+                << "mmap=" << mmap_reads << " threads=" << threads;
+        }
+    }
+
+    // Interval views must also agree byte-for-byte across the paths.
+    const ArchiveReader mapped =
+        ArchiveReader::fromFile(path, ArchiveIoOptions{4, true});
+    const ArchiveReader buffered =
+        ArchiveReader::fromFile(path, ArchiveIoOptions{1, false});
+    const ArchiveReader in_memory = ArchiveReader::fromBytes(
+        archiveBytes(rec), ArchiveIoOptions{2, true});
+    EXPECT_FALSE(in_memory.usingMmap());
+    for (std::size_t i = 0; i < mapped.checkpointCount(); ++i) {
+        const std::string view = savedBytes(mapped.readInterval(i));
+        EXPECT_EQ(view, savedBytes(buffered.readInterval(i))) << i;
+        EXPECT_EQ(view, savedBytes(in_memory.readInterval(i))) << i;
+    }
     std::remove(path.c_str());
 }
 

@@ -20,9 +20,14 @@
  *   --checkpoint-period N   system checkpoint every N global commits
  *   --archive-out FILE      write a segmented archive (.dla) too;
  *                           implies --checkpoint-period 50 if unset
+ *   --io-threads N   archive segment codec pool size
+ *                    (default: DELOREAN_JOBS, else hw concurrency)
+ *   --no-mmap        buffered archive reads instead of zero-copy mmap
  *
  * replay/inspect accept either a serialized recording or an archive
  * (detected by magic); an archive is reassembled via readAll().
+ * --io-threads/--no-mmap never change the bytes written or read —
+ * container output is byte-identical at any setting.
  */
 
 #include <cstdio>
@@ -54,6 +59,7 @@ struct Args
     bool perturb = false;
     std::string archiveFile;
     std::uint64_t checkpointPeriod = 0;
+    ArchiveIoOptions archiveIo;
 };
 
 [[noreturn]] void
@@ -63,9 +69,12 @@ usage()
                  "usage: delorean_sim record <app> [--mode M] [--procs N]"
                  " [--chunk N] [--scale P] [--seed S] [--env S]"
                  " [--stratify N] [--checkpoint-period N]"
-                 " [-o FILE] [--archive-out FILE]\n"
-                 "       delorean_sim replay <FILE> [--env S] [--perturb]\n"
-                 "       delorean_sim inspect <FILE>\n"
+                 " [-o FILE] [--archive-out FILE]"
+                 " [--io-threads N]\n"
+                 "       delorean_sim replay <FILE> [--env S] [--perturb]"
+                 " [--io-threads N] [--no-mmap]\n"
+                 "       delorean_sim inspect <FILE>"
+                 " [--io-threads N] [--no-mmap]\n"
                  "       delorean_sim compare <app> [--procs N] [--scale P]\n"
                  "apps: ");
     for (const auto &name : AppTable::allNames())
@@ -132,6 +141,11 @@ parse(int argc, char **argv)
             args.checkpointPeriod = std::strtoull(next(), nullptr, 10);
         else if (flag == "--perturb")
             args.perturb = true;
+        else if (flag == "--io-threads")
+            args.archiveIo.ioThreads =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (flag == "--no-mmap")
+            args.archiveIo.mmapReads = false;
         else
             usage();
     }
@@ -194,7 +208,7 @@ cmdRecord(const Args &args)
         std::printf("  saved to:         %s\n", args.file.c_str());
     }
     if (!args.archiveFile.empty()) {
-        writeArchiveFile(rec, args.archiveFile);
+        writeArchiveFile(rec, args.archiveFile, args.archiveIo);
         std::printf("  archived to:      %s (%zu segments)\n",
                     args.archiveFile.c_str(),
                     rec.checkpoints.size() + 1);
@@ -204,17 +218,17 @@ cmdRecord(const Args &args)
 
 /** Loads either container: archive (by magic sniff) or recording. */
 Recording
-loadAny(const std::string &path)
+loadAny(const std::string &path, const ArchiveIoOptions &io)
 {
     if (ArchiveReader::fileLooksLikeArchive(path))
-        return ArchiveReader::fromFile(path).readAll();
+        return ArchiveReader::fromFile(path, io).readAll();
     return loadRecordingFile(path);
 }
 
 int
 cmdReplay(const Args &args)
 {
-    const Recording rec = loadAny(args.file);
+    const Recording rec = loadAny(args.file, args.archiveIo);
     std::printf("replaying %s (%s, %u procs, seed %llu)...\n",
                 rec.appName.c_str(), execModeName(rec.mode.mode),
                 rec.machine.numProcs,
@@ -235,7 +249,7 @@ cmdReplay(const Args &args)
 int
 cmdInspect(const Args &args)
 {
-    const Recording rec = loadAny(args.file);
+    const Recording rec = loadAny(args.file, args.archiveIo);
     std::printf("recording: %s, %s mode, %u procs, chunk %llu, "
                 "workload seed %llu\n",
                 rec.appName.c_str(), execModeName(rec.mode.mode),

@@ -22,6 +22,12 @@
  * replay — overriding DELOREAN_JOBS. Checked file replays always
  * cross-check the chunk-parallel replayer against the serial engine.
  *
+ * Archive (.dla) loads honor two data-plane knobs (anywhere on the
+ * command line): `--io-threads <n>` sizes the segment codec pool
+ * (default: the --jobs / DELOREAN_JOBS resolution) and `--no-mmap`
+ * forces buffered reads instead of the zero-copy mmap path. Neither
+ * changes any byte of what is read — only how fast.
+ *
  * Knobs (environment): DELOREAN_JOBS worker count, DELOREAN_SCALE
  * workload scale percent, DELOREAN_NUM_PROCS processor count.
  */
@@ -49,6 +55,9 @@ using namespace delorean;
 
 namespace
 {
+
+/// Archive data-plane knobs (--io-threads / --no-mmap), set in main.
+ArchiveIoOptions archive_io;
 
 unsigned
 envUnsigned(const char *name, unsigned fallback)
@@ -86,7 +95,10 @@ usage()
         "<file> may be a serialized recording (.dlr) or an archive\n"
         "(.dla, auto-detected by magic). --from/--to replay only the\n"
         "interval between the named checkpoint GCCs (Appendix B); use\n"
-        "--list-checkpoints to see the seekable GCCs.\n");
+        "--list-checkpoints to see the seekable GCCs.\n"
+        "archive loads also accept --io-threads <n> (segment codec\n"
+        "pool size) and --no-mmap (buffered instead of zero-copy\n"
+        "reads); neither changes what is read, only how fast.\n");
     return 2;
 }
 
@@ -191,7 +203,7 @@ doListCheckpoints(const std::string &path)
 {
     try {
         if (ArchiveReader::fileLooksLikeArchive(path)) {
-            const ArchiveReader reader = ArchiveReader::fromFile(path);
+            const ArchiveReader reader = ArchiveReader::fromFile(path, archive_io);
             std::printf("%s: archive, %s, %u procs, %zu segment(s), "
                         "%zu checkpoint(s)\n",
                         path.c_str(), reader.appName().c_str(),
@@ -253,7 +265,7 @@ doCheckInterval(const std::string &path, std::uint64_t from_gcc,
     ReplayCheckOptions opts;
     try {
         if (ArchiveReader::fileLooksLikeArchive(path)) {
-            const ArchiveReader reader = ArchiveReader::fromFile(path);
+            const ArchiveReader reader = ArchiveReader::fromFile(path, archive_io);
             const std::vector<std::uint64_t> gccs =
                 reader.checkpointGccs();
             const auto from =
@@ -334,7 +346,7 @@ doCheckFile(const std::string &path, unsigned jobs)
     const bool is_archive = ArchiveReader::fileLooksLikeArchive(path);
     try {
         if (is_archive)
-            rec = ArchiveReader::fromFile(path).readAll();
+            rec = ArchiveReader::fromFile(path, archive_io).readAll();
         else
             rec = loadRecording(in);
     } catch (const RecordingFormatError &e) {
@@ -466,6 +478,30 @@ main(int argc, char **argv)
     }
     if (jobs)
         setenv("DELOREAN_JOBS", std::to_string(jobs).c_str(), 1);
+
+    // Archive data-plane knobs, also position-independent.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--io-threads")
+            continue;
+        if (i + 1 >= args.size())
+            return usage();
+        char *end = nullptr;
+        const unsigned long v =
+            std::strtoul(args[i + 1].c_str(), &end, 10);
+        if (end == args[i + 1].c_str() || *end != '\0' || v == 0)
+            return usage();
+        archive_io.ioThreads = static_cast<unsigned>(v);
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        break;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--no-mmap")
+            continue;
+        archive_io.mmapReads = false;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+    }
 
     // --from <gcc> [--to <gcc>]: checkpoint-bounded interval replay.
     std::optional<std::uint64_t> from_gcc;
