@@ -1,0 +1,255 @@
+#include "analysis/race_detector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/errors.hpp"
+#include "core/recording.hpp"
+#include "trace/layout.hpp"
+
+namespace delorean
+{
+
+namespace
+{
+
+/** Value-observing access kinds (loads and both AMOs). */
+bool
+accessReads(AccessKind kind)
+{
+    return kind != AccessKind::kStore;
+}
+
+/** Memory-writing access kinds (stores and both AMOs). */
+bool
+accessWrites(AccessKind kind)
+{
+    return kind != AccessKind::kLoad;
+}
+
+const char *
+accessKindName(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::kLoad:
+        return "load";
+      case AccessKind::kStore:
+        return "store";
+      case AccessKind::kAmoSwap:
+        return "amoswap";
+      case AccessKind::kAmoFetchAdd:
+        return "amoadd";
+    }
+    return "?";
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%08llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+std::string
+describeAccess(const RaceAccess &a)
+{
+    return "P" + std::to_string(a.proc) + " chunk "
+           + std::to_string(a.seq) + " commit "
+           + std::to_string(a.commitPos) + " "
+           + accessKindName(a.kind);
+}
+
+} // namespace
+
+void
+VectorClock::set(unsigned p, std::uint64_t value)
+{
+    if (p >= c_.size())
+        c_.resize(p + 1, 0);
+    c_[p] = value;
+}
+
+void
+VectorClock::tick(unsigned p)
+{
+    if (p >= c_.size())
+        c_.resize(p + 1, 0);
+    if (c_[p] == ~0ull)
+        throw ReplayError("vector clock component for proc "
+                          + std::to_string(p)
+                          + " wrapped around 64 bits");
+    ++c_[p];
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.c_.size() > c_.size())
+        c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i)
+        c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+std::string
+RaceFinding::describe() const
+{
+    return "race @" + hexAddr(word) + ": " + describeAccess(prior)
+           + " vs " + describeAccess(racing);
+}
+
+std::string
+RaceReport::describe() const
+{
+    std::string out;
+    for (const RaceFinding &f : findings) {
+        out += f.describe();
+        out += '\n';
+    }
+    out += "races: " + std::to_string(findings.size()) + "  chunks: "
+           + std::to_string(chunksObserved) + "  accesses: "
+           + std::to_string(accessesChecked) + "  words: "
+           + std::to_string(wordsTracked) + "\n";
+    return out;
+}
+
+void
+RaceDetector::onReplayBegin(const Recording &rec)
+{
+    procs_ = rec.machine.numProcs;
+    clocks_.assign(procs_, VectorClock(procs_));
+    for (unsigned p = 0; p < procs_; ++p)
+        clocks_[p].tick(p); // epoch clock 1: 0 means "never accessed"
+    syncClocks_.clear();
+    words_.clear();
+    reportedWords_.clear();
+    lastPos_ = 0;
+    sawEvent_ = false;
+    report_ = RaceReport{};
+}
+
+void
+RaceDetector::onChunkRetire(const ChunkObservation &obs)
+{
+    if (sawEvent_ && obs.commitPos <= lastPos_)
+        throw ReplayError(
+            "race detector received commit position "
+            + std::to_string(obs.commitPos)
+            + " after position " + std::to_string(lastPos_)
+            + " (canonical order violated)");
+    lastPos_ = obs.commitPos;
+    sawEvent_ = true;
+    ++report_.chunksObserved;
+
+    if (obs.proc >= procs_)
+        throw ReplayError("race detector observed chunk from proc "
+                          + std::to_string(obs.proc) + " of "
+                          + std::to_string(procs_));
+    VectorClock &vc = clocks_[obs.proc];
+
+    for (const MemAccess &a : *obs.accesses) {
+        const Addr word = a.addr & ~static_cast<Addr>(kWordBytes - 1);
+        if (AddressLayout::isUncached(word)
+            || AddressLayout::isPrivate(word)
+            || AddressLayout::isDma(word))
+            continue;
+        if (AddressLayout::isLock(word)
+            || AddressLayout::isBarrier(word)) {
+            handleSync(word, a.kind, vc);
+            continue;
+        }
+        RaceAccess cur;
+        cur.proc = obs.proc;
+        cur.seq = obs.seq;
+        cur.commitPos = obs.commitPos;
+        cur.kind = a.kind;
+        checkData(word, cur, vc);
+    }
+
+    vc.tick(obs.proc);
+}
+
+void
+RaceDetector::onDmaRetire(const DmaObservation &obs)
+{
+    // DMA writes are device-ordered by the memory arbiter and target
+    // the DMA buffer region, which the detector skips; only the
+    // canonical-order invariant is maintained here.
+    if (sawEvent_ && obs.commitPos <= lastPos_)
+        throw ReplayError(
+            "race detector received DMA commit position "
+            + std::to_string(obs.commitPos)
+            + " after position " + std::to_string(lastPos_)
+            + " (canonical order violated)");
+    lastPos_ = obs.commitPos;
+    sawEvent_ = true;
+}
+
+void
+RaceDetector::onReplayEnd()
+{
+    report_.wordsTracked = words_.size();
+}
+
+void
+RaceDetector::handleSync(Addr word, AccessKind kind, VectorClock &vc)
+{
+    VectorClock &sw =
+        syncClocks_.try_emplace(word, procs_).first->second;
+    // Acquire before release so an AMO chains: it observes everything
+    // prior holders published, then republishes its own knowledge.
+    if (accessReads(kind))
+        vc.join(sw);
+    if (accessWrites(kind))
+        sw.join(vc);
+}
+
+void
+RaceDetector::checkData(Addr word, const RaceAccess &cur,
+                        const VectorClock &vc)
+{
+    ++report_.accessesChecked;
+    WordState &ws = words_.try_emplace(word).first->second;
+    if (ws.readClock.empty()) {
+        ws.readClock.assign(procs_, 0);
+        ws.read.assign(procs_, RaceAccess{});
+    }
+
+    const bool writes = accessWrites(cur.kind);
+    const RaceAccess *prior = nullptr;
+    if (ws.writeClock != 0 && ws.write.proc != cur.proc
+        && !vc.covers(ws.write.proc, ws.writeClock))
+        prior = &ws.write;
+    if (prior == nullptr && writes) {
+        for (unsigned q = 0; q < procs_; ++q) {
+            if (q != cur.proc && ws.readClock[q] != 0
+                && !vc.covers(q, ws.readClock[q])) {
+                prior = &ws.read[q];
+                break;
+            }
+        }
+    }
+    if (prior != nullptr && reportedWords_.insert(word).second) {
+        RaceFinding f;
+        f.word = word;
+        f.prior = *prior;
+        f.racing = cur;
+        report_.findings.push_back(f);
+    }
+
+    if (writes) {
+        ws.writeClock = vc.at(cur.proc);
+        ws.write = cur;
+        // A write ordered after the outstanding reads subsumes them;
+        // an unordered one was just reported. Either way later
+        // accesses need only be checked against this write.
+        std::fill(ws.readClock.begin(), ws.readClock.end(), 0);
+    }
+    if (accessReads(cur.kind)) {
+        ws.readClock[cur.proc] = vc.at(cur.proc);
+        ws.read[cur.proc] = cur;
+    }
+}
+
+} // namespace delorean

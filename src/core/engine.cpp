@@ -170,6 +170,15 @@ ChunkEngine::replay(const Recording &prior)
     const auto wall_start = std::chrono::steady_clock::now();
     prior_ = &prior;
 
+    if (opts_.observer
+        && (opts_.startCheckpoint || opts_.stopCheckpoint))
+        throw ConfigError("replay observers require a full-run replay; "
+                          "combine with interval replay is not supported");
+    obs_hub_ = std::make_unique<ObserverHub>(opts_.observer);
+    if (obs_hub_->enabled() && prior.stratified())
+        strata_order_ = std::make_unique<StrataCanonicalOrder>(
+            computeStrataCanonicalOrder(prior.strata, n_));
+
     if (mode_.mode != ExecMode::kPicoLog) {
         if (prior.stratified()) {
             strata_cursor_ = std::make_unique<StrataCursor>(prior.strata, n_);
@@ -233,10 +242,14 @@ ChunkEngine::replay(const Recording &prior)
         }
     }
 
+    obs_hub_->begin(prior);
+
     for (ProcId p = 0; p < n_; ++p)
         tryStartChunk(p, 0);
 
     runLoop();
+
+    obs_hub_->end();
 
     for (ProcId p = 0; p < n_; ++p) {
         // A bounded replay stops at a commit boundary with chunks
@@ -594,6 +607,7 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
     InstrCount i = 0;
     ChunkEnd reason = ChunkEnd::kSizeLimit;
     bool blocked = false;
+    const bool tracing = obs_hub_ && obs_hub_->enabled();
 
     while (i < target) {
         if (prog.done(ps.ctx)) {
@@ -659,6 +673,19 @@ ChunkEngine::buildChunk(ProcId p, Cycle now)
                     spec_[p].insert(line);
                     c.writtenLines.push_back(line);
                 }
+            }
+            if (tracing) {
+                MemAccess a;
+                a.addr = in.addr;
+                a.kind = in.op == Op::kLoad      ? AccessKind::kLoad
+                         : in.op == Op::kStore   ? AccessKind::kStore
+                         : in.op == Op::kAmoSwap ? AccessKind::kAmoSwap
+                                                 : AccessKind::kAmoFetchAdd;
+                // Loads and atomics report the observed value (a lock
+                // acquire is an AmoSwap observing 0), stores the
+                // stored one.
+                a.value = returnsValue(in.op) ? value : in.value;
+                c.extra.trace.push_back(a);
             }
             break;
           }
@@ -1385,6 +1412,7 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
                 const std::size_t low = po_cursor_->lowWatermark();
                 const std::size_t entry = po_cursor_->consumeProc(p);
                 po_fp_pos_[p] = po_cursor_->chunkPosOf(entry);
+                ps.obsPos = entry;
                 if (entry != low)
                     ++stats_.poRelaxedRetires;
                 if (std::popcount(prior_->pi.maskAt(entry)) > 1)
@@ -1406,6 +1434,7 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
                         + std::to_string(pi_cursor_->position() - 1)
                         + ": log says proc " + std::to_string(logged)
                         + ", committing proc " + std::to_string(p));
+                ps.obsPos = pi_cursor_->position() - 1;
             }
         }
         if (final_piece) {
@@ -1430,6 +1459,19 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
 
     stats_.retiredInstrs += c.size;
 
+    const bool observing = obs_hub_ && obs_hub_->enabled();
+    if (observing) {
+        // Split logical chunks deliver one merged observation at the
+        // final piece; accumulate committed piece traces until then.
+        if (ps.pendingTrace.empty())
+            ps.pendingTrace = std::move(c.extra.trace);
+        else
+            ps.pendingTrace.insert(ps.pendingTrace.end(),
+                                   c.extra.trace.begin(),
+                                   c.extra.trace.end());
+        c.extra.trace.clear();
+    }
+
     if (final_piece) {
         const CommitRecord commit{p, c.seq, ps.partialSize + c.size,
                                   c.endCtx.acc};
@@ -1437,6 +1479,30 @@ ChunkEngine::grantChunk(ProcId p, Cycle now)
             fp_.commits[po_fp_pos_[p]] = commit;
         else
             fp_.commits.push_back(commit);
+        if (observing) {
+            // Canonical commit position: the consumed PI entry index
+            // (flat and partial-order cursors), the current global
+            // commit count (PicoLog retires in GCC order by
+            // construction), or the precomputed strata linearization
+            // (a stratified replay's intra-stratum order is timing-
+            // dependent, so the log fixes the canonical one).
+            std::uint64_t pos;
+            if (strata_cursor_) {
+                if (c.seq >= strata_order_->chunkPos[p].size())
+                    throw ReplayError(
+                        "strata log names fewer chunks for proc "
+                        + std::to_string(p) + " than were committed");
+                pos = strata_order_->chunkPos[p][c.seq];
+            } else if (mode_.mode == ExecMode::kPicoLog) {
+                pos = gcc_;
+            } else {
+                pos = ps.obsPos;
+            }
+            obs_hub_->chunkRetired(pos, p, c.seq,
+                                   ps.partialSize + c.size,
+                                   std::move(ps.pendingTrace));
+            ps.pendingTrace.clear();
+        }
         ps.partialSize = 0;
         ps.mustContinue = false;
         ps.lastCommittedCtx = c.endCtx;
@@ -1496,14 +1562,29 @@ ChunkEngine::grantDma(Cycle now)
     } else {
         xfer = prior_->dma.transferAt(dma_replay_idx_);
         ++dma_replay_idx_;
+        std::uint64_t obs_pos = gcc_; // PicoLog: DMA slot = current GCC
         if (mode_.mode != ExecMode::kPicoLog) {
-            if (strata_cursor_)
+            if (strata_cursor_) {
                 strata_cursor_->consumeDma();
-            else if (po_cursor_)
-                po_cursor_->consumeProc(kDmaProcId);
-            else
+                if (strata_order_) {
+                    if (dma_replay_idx_ - 1
+                        >= strata_order_->dmaPos.size())
+                        throw ReplayError(
+                            "strata log names fewer DMA slots than "
+                            "transfers committed");
+                    obs_pos =
+                        strata_order_->dmaPos[dma_replay_idx_ - 1];
+                }
+            } else if (po_cursor_) {
+                obs_pos = po_cursor_->consumeProc(kDmaProcId);
+            } else {
                 pi_cursor_->next();
+                obs_pos = pi_cursor_->position() - 1;
+            }
         }
+        if (obs_hub_ && obs_hub_->enabled())
+            obs_hub_->dmaRetired(
+                obs_pos, prior_->dma.transferAt(dma_replay_idx_ - 1));
     }
 
     // Occupy a commit slot (see grantChunk for replay occupancy).

@@ -36,6 +36,7 @@
 #include "common/flat_set.hpp"
 #include "core/checkpoint.hpp"
 #include "core/recording.hpp"
+#include "core/replay_observer.hpp"
 #include "memory/cache.hpp"
 #include "memory/directory.hpp"
 #include "memory/memory_state.hpp"
@@ -112,6 +113,11 @@ struct EngineOptions
     /// covers exactly the commits in [start, stop) and the
     /// architectural state at the stop checkpoint.
     const SystemCheckpoint *stopCheckpoint = nullptr;
+    /// Replay only: analysis plugin receiving every chunk/DMA
+    /// retirement in canonical commit order (see replay_observer.hpp).
+    /// Borrowed — must outlive the replay. Incompatible with interval
+    /// replay (ConfigError): analyses need the full commit history.
+    ReplayObserver *observer = nullptr;
 };
 
 /** Outcome of a replay run. */
@@ -203,6 +209,10 @@ class ChunkEngine
         /// is rolled back so eager chunk generation cannot act as a
         /// free prefetcher (see squashFrom).
         std::vector<std::pair<Addr, HitLevel>> fills;
+        /// Program-order cached-access trace for the replay observer.
+        /// Collected only when an observer is attached; wrong-path
+        /// noise never enters (it is signature-only).
+        std::vector<MemAccess> trace;
     };
 
     struct EngineChunk : Chunk
@@ -225,6 +235,7 @@ class ChunkEngine
             extra.linesWritten.clear();
             extra.linesRead.clear();
             extra.fills.clear();
+            extra.trace.clear();
         }
     };
 
@@ -254,6 +265,15 @@ class ChunkEngine
         /// that a cascade squash past that boundary re-delivers the
         /// SAME interrupt on rebuild instead of losing it.
         std::unordered_map<ChunkSeq, InterruptRecord> irqBySeq;
+        /// Observer replay: accumulated access trace of the committed
+        /// pieces of the current logical chunk (split chunks deliver
+        /// one merged observation at the final piece).
+        std::vector<MemAccess> pendingTrace;
+        /// Observer replay: canonical commit position of the logical
+        /// chunk being committed, captured when its PI entry is
+        /// consumed (first piece) for the flat and partial-order
+        /// cursors.
+        std::uint64_t obsPos = 0;
     };
 
     // ----- run ----------------------------------------------------------
@@ -416,6 +436,11 @@ class ChunkEngine
     std::vector<std::size_t> po_fp_pos_;
     std::unique_ptr<StrataCursor> strata_cursor_;
     std::size_t dma_replay_idx_ = 0;
+    /// Replay observer plumbing: re-sequencing hub plus, for
+    /// stratified replays (whose intra-stratum retire order is
+    /// timing-dependent), the precomputed canonical positions.
+    std::unique_ptr<ObserverHub> obs_hub_;
+    std::unique_ptr<StrataCanonicalOrder> strata_order_;
     /// Replay: per-processor CS entries keyed by logical chunk number.
     /// Chunks are built ahead of commits, so a sequential cursor would
     /// misalign; lookup by seq is also squash-rebuild safe.

@@ -11,6 +11,7 @@
 
 #include "common/errors.hpp"
 #include "core/pi_log.hpp"
+#include "core/replay_observer.hpp"
 #include "core/stratifier.hpp"
 #include "memory/memory_state.hpp"
 #include "sim/campaign.hpp"
@@ -36,6 +37,10 @@ struct ChunkBody
     /// Values observed from committed memory (own-store forwards are
     /// not recorded: they cannot go stale). Revalidated at retire.
     std::vector<std::pair<Addr, std::uint64_t>> reads;
+    /// Program-order cached-access trace for the attached observer
+    /// (empty when no observer is attached). Rebuilt on squash
+    /// re-execution, so it always reflects the retired execution.
+    std::vector<MemAccess> trace;
     bool valid = false; ///< body has been executed
 };
 
@@ -79,12 +84,14 @@ chargeBudget(std::atomic<std::uint64_t> &executed, std::uint64_t amount,
 void
 executeBody(const ThreadProgram &prog, const IoLog &io,
             const MemoryState &mem, ProcId p, ChunkBody &b,
-            std::atomic<std::uint64_t> &executed, std::uint64_t budget)
+            std::atomic<std::uint64_t> &executed, std::uint64_t budget,
+            bool tracing)
 {
     ThreadContext ctx = b.startCtx;
     std::unordered_map<Addr, std::uint64_t> write_map;
     b.reads.clear();
     b.writes.clear();
+    b.trace.clear();
 
     InstrCount i = 0;
     std::uint64_t unflushed = 0;
@@ -115,6 +122,16 @@ executeBody(const ThreadProgram &prog, const IoLog &io,
                     stored = value + in.value;
                 b.writes.emplace_back(word, stored);
                 write_map[word] = stored;
+            }
+            if (tracing) {
+                MemAccess a;
+                a.addr = in.addr;
+                a.kind = in.op == Op::kLoad      ? AccessKind::kLoad
+                         : in.op == Op::kStore   ? AccessKind::kStore
+                         : in.op == Op::kAmoSwap ? AccessKind::kAmoSwap
+                                                 : AccessKind::kAmoFetchAdd;
+                a.value = returnsValue(in.op) ? value : in.value;
+                b.trace.push_back(a);
             }
             break;
           }
@@ -220,6 +237,18 @@ ParallelReplayer::replay(const Recording &rec,
     std::uint64_t gcc = 0;    // PicoLog global commit count (DMA slots)
     std::size_t dma_idx = 0;
 
+    // Observer plumbing: bodies collect traces only when an observer
+    // is attached; the hub re-sequences out-of-order retires into the
+    // canonical commit order (for stratified logs a precomputed
+    // linearization, since in-stratum retire order is timing-free here
+    // but kept identical to the serial engine's canonical table).
+    ObserverHub hub(opts_.observer);
+    const bool tracing = hub.enabled();
+    std::unique_ptr<StrataCanonicalOrder> strata_order;
+    if (tracing && rec.stratified() && !pico)
+        strata_order = std::make_unique<StrataCanonicalOrder>(
+            computeStrataCanonicalOrder(rec.strata, n));
+
     WorkerPool pool(opts_.jobs);
     std::atomic<std::uint64_t> executed{0};
     EngineStats stats;
@@ -289,18 +318,23 @@ ParallelReplayer::replay(const Recording &rec,
         return pr.hasPending && pr.pending.valid;
     };
 
-    const auto applyDma = [&] {
+    // @p obs_pos: canonical commit position for the observer.
+    const auto applyDma = [&](std::uint64_t obs_pos) {
         if (dma_idx >= rec.dma.count())
             throw ReplayLogExhausted(
                 "DMA log exhausted during chunk-parallel replay");
         const DmaTransfer &xfer = rec.dma.transferAt(dma_idx++);
         for (std::size_t i = 0; i < xfer.wordAddrs.size(); ++i)
             mem.store(wordOf(xfer.wordAddrs[i]), xfer.values[i]);
+        if (tracing)
+            hub.dmaRetired(obs_pos, xfer);
     };
 
     // @p fp_pos: commit position for partial-order retirement (writes
     // into the pre-sized stream); SIZE_MAX appends in retire order.
-    const auto retireChunk = [&](ProcId p, std::size_t fp_pos) {
+    // @p obs_pos: canonical commit position for the observer.
+    const auto retireChunk = [&](ProcId p, std::size_t fp_pos,
+                                 std::uint64_t obs_pos) {
         ProcReplay &pr = procs[p];
         ChunkBody &b = pr.pending;
         // Value-based read validation: a body that executed against a
@@ -315,7 +349,8 @@ ParallelReplayer::replay(const Recording &rec,
         }
         if (stale) {
             ++stats.squashes;
-            executeBody(prog, rec.io, mem, p, b, executed, budget);
+            executeBody(prog, rec.io, mem, p, b, executed, budget,
+                        tracing);
         }
         for (const auto &[word, value] : b.writes)
             mem.store(word, value);
@@ -329,6 +364,9 @@ ParallelReplayer::replay(const Recording &rec,
         pr.ctx = b.endCtx;
         pr.nextSeq = b.seq + 1;
         pr.hasPending = false;
+        if (tracing)
+            hub.chunkRetired(obs_pos, p, b.seq, b.size,
+                             std::move(b.trace));
     };
 
     // Retire everything the log allows. The order is a pure function
@@ -342,7 +380,7 @@ ParallelReplayer::replay(const Recording &rec,
             if (pico) {
                 if (dma_idx < rec.dma.count()
                     && rec.dma.slotAt(dma_idx) == gcc) {
-                    applyDma();
+                    applyDma(gcc);
                     ++gcc;
                     any = true;
                     continue;
@@ -352,7 +390,7 @@ ParallelReplayer::replay(const Recording &rec,
                     rr = (rr + 1) % n;
                 if (procs[rr].finished || !readyBody(rr))
                     break;
-                retireChunk(rr, static_cast<std::size_t>(-1));
+                retireChunk(rr, static_cast<std::size_t>(-1), gcc);
                 rr = (rr + 1) % n;
                 ++gcc;
                 any = true;
@@ -362,7 +400,15 @@ ParallelReplayer::replay(const Recording &rec,
                 if (strata->atEnd())
                     break;
                 if (strata->isDmaSlot()) {
-                    applyDma();
+                    std::uint64_t obs_pos = 0;
+                    if (strata_order) {
+                        if (dma_idx >= strata_order->dmaPos.size())
+                            throw ReplayError(
+                                "strata log names fewer DMA slots "
+                                "than transfers committed");
+                        obs_pos = strata_order->dmaPos[dma_idx];
+                    }
+                    applyDma(obs_pos);
                     strata->consumeDma();
                     any = true;
                     continue;
@@ -382,7 +428,17 @@ ParallelReplayer::replay(const Recording &rec,
                         break;
                     }
                 }
-                retireChunk(p, static_cast<std::size_t>(-1));
+                std::uint64_t obs_pos = 0;
+                if (strata_order) {
+                    const ChunkSeq seq = procs[p].pending.seq;
+                    if (seq >= strata_order->chunkPos[p].size())
+                        throw ReplayError(
+                            "strata log names fewer chunks for proc "
+                            + std::to_string(p)
+                            + " than were committed");
+                    obs_pos = strata_order->chunkPos[p][seq];
+                }
+                retireChunk(p, static_cast<std::size_t>(-1), obs_pos);
                 strata->consume(p);
                 any = true;
                 continue;
@@ -391,8 +447,9 @@ ParallelReplayer::replay(const Recording &rec,
                 if (po->atEnd())
                     break;
                 if (po->dmaReady()) {
-                    applyDma();
-                    po->consumeProc(kDmaProcId);
+                    const std::size_t entry =
+                        po->consumeProc(kDmaProcId);
+                    applyDma(entry);
                     any = true;
                     continue;
                 }
@@ -407,7 +464,7 @@ ParallelReplayer::replay(const Recording &rec,
                     const std::size_t entry = po->consumeProc(p);
                     if (entry != low)
                         ++stats.poRelaxedRetires;
-                    retireChunk(p, po->chunkPosOf(entry));
+                    retireChunk(p, po->chunkPosOf(entry), entry);
                     did = true;
                     any = true;
                 }
@@ -419,7 +476,7 @@ ParallelReplayer::replay(const Recording &rec,
                 break;
             const ProcId e = pi->peek();
             if (e == kDmaProcId) {
-                applyDma();
+                applyDma(pi->position());
                 pi->next();
                 any = true;
                 continue;
@@ -430,12 +487,15 @@ ParallelReplayer::replay(const Recording &rec,
                                   + std::to_string(n));
             if (!readyBody(e))
                 break;
-            retireChunk(e, static_cast<std::size_t>(-1));
+            retireChunk(e, static_cast<std::size_t>(-1),
+                        pi->position());
             pi->next();
             any = true;
         }
         return any;
     };
+
+    hub.begin(rec);
 
     std::vector<std::function<void()>> tasks;
     while (!allFinished()) {
@@ -502,7 +562,7 @@ ParallelReplayer::replay(const Recording &rec,
             for (const ProcId p : to_run) {
                 tasks.push_back([&, p] {
                     executeBody(prog, rec.io, mem, p, procs[p].pending,
-                                executed, budget);
+                                executed, budget, tracing);
                 });
             }
             pool.runBatch(tasks);
@@ -517,6 +577,8 @@ ParallelReplayer::replay(const Recording &rec,
                 "chunk-parallel replay made no progress (log head "
                 "cannot be satisfied)");
     }
+
+    hub.end();
 
     for (ProcId p = 0; p < n; ++p) {
         fp.perProcAcc.push_back(procs[p].ctx.acc);

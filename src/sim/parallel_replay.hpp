@@ -57,6 +57,11 @@ struct ParallelReplayOptions
     /// replay. False forces the classic total-order cursor (the log's
     /// entry sequence is always a valid linearization).
     bool honorPartialOrder = true;
+    /// Replay-time analysis plugin (see core/replay_observer.hpp).
+    /// Borrowed, never owned; callbacks are re-sequenced into
+    /// canonical commit order on the coordinator thread, so the event
+    /// stream is byte-identical at any jobs/window/shard setting.
+    ReplayObserver *observer = nullptr;
 };
 
 /**

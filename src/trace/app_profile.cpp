@@ -1,7 +1,11 @@
 #include "trace/app_profile.hpp"
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 #include <stdexcept>
+
+#include "trace/layout.hpp"
 
 namespace delorean
 {
@@ -278,10 +282,81 @@ AppTable::allNames()
     return names;
 }
 
+namespace
+{
+
+/// Largest seededRaceWords the "~r<K>" suffix accepts. Keeps the race
+/// region (and per-iteration race traffic) small and bounded.
+constexpr std::uint32_t kMaxSeededRaceWords = 64;
+
+/**
+ * Parse a "<base>~r<K>" seeded-race variant name. Returns true and
+ * fills @p base / @p k only for a well-formed suffix with K in
+ * [1, kMaxSeededRaceWords]; anything else (including a bare "~r" or
+ * trailing junk) is treated as an ordinary — unknown — name.
+ */
+bool
+parseRaceVariant(const std::string &name, std::string &base,
+                 std::uint32_t &k)
+{
+    const std::size_t tilde = name.rfind("~r");
+    if (tilde == std::string::npos || tilde == 0
+        || tilde + 2 >= name.size())
+        return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = tilde + 2; i < name.size(); ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > kMaxSeededRaceWords)
+            return false;
+    }
+    if (value == 0)
+        return false;
+    base = name.substr(0, tilde);
+    k = static_cast<std::uint32_t>(value);
+    return true;
+}
+
+} // namespace
+
 const AppProfile &
 AppTable::byName(const std::string &name)
 {
-    return table().at(name);
+    {
+        const auto it = table().find(name);
+        if (it != table().end())
+            return it->second;
+    }
+    std::string base;
+    std::uint32_t k = 0;
+    if (parseRaceVariant(name, base, k)) {
+        // Derived profiles are cached (std::map references are stable)
+        // so the returned reference lives as long as the stock ones.
+        static std::mutex mu;
+        static std::map<std::string, AppProfile> variants;
+        const AppProfile &stock = table().at(base); // may throw
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = variants.try_emplace(name, stock);
+        if (inserted) {
+            it->second.name = name;
+            it->second.seededRaceWords = k;
+        }
+        return it->second;
+    }
+    return table().at(name); // throws std::out_of_range
+}
+
+std::vector<std::uint64_t>
+seededRaceManifest(const AppProfile &profile)
+{
+    std::vector<std::uint64_t> words;
+    words.reserve(profile.seededRaceWords);
+    for (std::uint32_t i = 0; i < profile.seededRaceWords; ++i)
+        words.push_back(AddressLayout::raceWord(i));
+    std::sort(words.begin(), words.end());
+    return words;
 }
 
 } // namespace delorean

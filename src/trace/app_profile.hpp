@@ -59,6 +59,15 @@ struct AppProfile
     std::uint32_t csSharedPerMille = 300; ///< CS accesses to shared data
     std::uint32_t barrierEveryIters = 0;  ///< 0 = no barriers
 
+    // --- Seeded data races ----------------------------------------------
+    /// Number of deliberately racy words (AddressLayout::raceWord).
+    /// When nonzero, every thread stores then loads each race word at
+    /// the top of every iteration with no synchronization, creating
+    /// deterministic cross-thread data races on exactly these words.
+    /// 0 (the default, and all stock profiles) seeds none. Selected at
+    /// runtime with the "<app>~r<K>" name suffix, e.g. "fft~r3".
+    std::uint32_t seededRaceWords = 0;
+
     // --- System activity (commercial workloads) -------------------------
     bool isCommercial = false;
     std::uint32_t ioPerMille = 0;      ///< P(I/O burst)/iteration
@@ -79,9 +88,26 @@ class AppTable
     /** All names: SPLASH-2 + sjbb2k + sweb2005. */
     static const std::vector<std::string> &allNames();
 
-    /** Profile for @p name; throws std::out_of_range if unknown. */
+    /**
+     * Profile for @p name; throws std::out_of_range if unknown.
+     *
+     * A "~r<K>" suffix (K in [1, 64]) derives a seeded-race variant of
+     * the base profile with seededRaceWords = K and the suffixed name,
+     * e.g. byName("fft~r3"). Derived profiles are cached so the
+     * returned reference stays valid for the process lifetime.
+     * Malformed suffixes throw std::out_of_range like any unknown
+     * name.
+     */
     static const AppProfile &byName(const std::string &name);
 };
+
+/**
+ * Machine-readable known-race manifest for @p profile: the sorted
+ * addresses of every word the generator deliberately races on. Empty
+ * for stock (race-free) profiles. Detector tests assert that the set
+ * of reported racy words equals this manifest exactly.
+ */
+std::vector<std::uint64_t> seededRaceManifest(const AppProfile &profile);
 
 } // namespace delorean
 

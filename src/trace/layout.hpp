@@ -29,6 +29,10 @@ class AddressLayout
     /// kPrivateBase + 64 * kPrivateSpan.
     static constexpr Addr kLockBase = 0x6000'0000;
     static constexpr Addr kBarrierBase = 0x6100'0000;
+    /// Seeded-race words (AppProfile::seededRaceWords) live in their
+    /// own region so the known-race manifest is a pure function of the
+    /// profile and the detector can tell them from ordinary data.
+    static constexpr Addr kRaceBase = 0x6200'0000;
     static constexpr Addr kKernelBase = 0x7000'0000;
     static constexpr Addr kDmaBase = 0x7800'0000;
     static constexpr Addr kIoBase = 0x8000'0000;
@@ -62,6 +66,13 @@ class AddressLayout
     barrierGen()
     {
         return kBarrierBase + kLineBytes;
+    }
+
+    /** i-th seeded-race word (one per cache line). */
+    static constexpr Addr
+    raceWord(std::uint32_t i)
+    {
+        return kRaceBase + static_cast<Addr>(i) * kLineBytes;
     }
 
     /** i-th word of the kernel region (handlers, syscalls). */
@@ -100,6 +111,64 @@ class AddressLayout
     isPrivate(Addr addr)
     {
         return addr >= kPrivateBase && addr < kLockBase;
+    }
+
+    /** True for lock words. */
+    static constexpr bool
+    isLock(Addr addr)
+    {
+        return addr >= kLockBase && addr < kBarrierBase;
+    }
+
+    /** True for the barrier counter/generation words. */
+    static constexpr bool
+    isBarrier(Addr addr)
+    {
+        return addr >= kBarrierBase && addr < kRaceBase;
+    }
+
+    /** True for seeded-race words. */
+    static constexpr bool
+    isRace(Addr addr)
+    {
+        return addr >= kRaceBase && addr < kKernelBase;
+    }
+
+    /** True for DMA buffer addresses. */
+    static constexpr bool
+    isDma(Addr addr)
+    {
+        return addr >= kDmaBase && addr < kIoBase;
+    }
+
+    /** Lock id of a lock-region address. */
+    static constexpr std::uint32_t
+    lockIdOf(Addr addr)
+    {
+        return static_cast<std::uint32_t>((addr - kLockBase) / kLineBytes);
+    }
+
+    /// Word lanes per stripe group (8 words = two 32 B lines).
+    static constexpr std::uint64_t kLaneCount = 8;
+
+    /**
+     * Stripe a shared word index onto processor @p proc's word lane
+     * within an 8-word group. The generator routes every cross-thread
+     * shared-data access (partition, hot set, remote stores, kernel
+     * shared slice) through this so concurrent threads contend on
+     * *lines* — driving chunk conflicts, squashes and strata cuts —
+     * while never touching the same *word* unsynchronized. That keeps
+     * the stock applications free of word-level data races, which the
+     * happens-before detector (src/analysis) asserts. Word-shared data
+     * stays word-shared only where a happens-before edge protects it
+     * (per-lock critical-section regions) or where a race is wanted
+     * (raceWord). Lanes wrap at kLaneCount processors; detector tests
+     * keep numProcs <= kLaneCount.
+     */
+    static constexpr std::uint64_t
+    stripedIndex(std::uint64_t idx, ProcId proc)
+    {
+        return (idx & ~(kLaneCount - 1)) | (proc % kLaneCount);
     }
 
     /**

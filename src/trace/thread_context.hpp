@@ -108,6 +108,11 @@ struct ThreadContext
 
     bool done = false;
 
+    /// Seeded-race instructions left in this iteration's burst
+    /// (2 * AppProfile::seededRaceWords at iteration start: a store
+    /// then a load of each race word, deliberately unsynchronized).
+    std::uint32_t raceRemaining = 0;
+
     /// 8 KB segments already touched (first-touch trap model). Kept
     /// LAST so the engine's per-instruction rollback snapshot can
     /// cover every other field with one small prefix copy: generate()

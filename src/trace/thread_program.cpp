@@ -83,6 +83,11 @@ ThreadProgram::beginIteration(ThreadContext &ctx) const
                          && ctx.rng.chancePerMille(profile_.syscallPerMille);
     ctx.pendingIo = profile_.isCommercial
                     && ctx.rng.chancePerMille(profile_.ioPerMille);
+    // Seeded-race burst: a store then a load of every race word, with
+    // no synchronization. Emitted before anything else the iteration
+    // does (including barrier arrival), so every processor pair has
+    // unordered conflicting accesses on every race word.
+    ctx.raceRemaining = 2 * profile_.seededRaceWords;
     ctx.state =
         ctx.pendingBarrier ? ThreadState::kBarArrive : ThreadState::kWork;
 }
@@ -160,7 +165,8 @@ ThreadProgram::pickSharedAddr(ThreadContext &ctx, bool prefer_hot,
                 profile_.sharedWords + ctx.lockId * per_lock
                 + ctx.rng.below(per_lock));
         }
-        return AddressLayout::sharedWord(ctx.rng.below(profile_.hotWords));
+        return AddressLayout::sharedWord(AddressLayout::stripedIndex(
+            ctx.rng.below(profile_.hotWords), ctx.proc));
     }
 
     // Partitioned shared array: mostly this processor's slice, with
@@ -171,7 +177,8 @@ ThreadProgram::pickSharedAddr(ThreadContext &ctx, bool prefer_hot,
         owner = static_cast<ProcId>(ctx.rng.below(num_procs_));
     ctx.sharedCursor =
         moveCursor(ctx.rng, ctx.sharedCursor, slice, locality_pm);
-    return AddressLayout::sharedWord(owner * slice + ctx.sharedCursor);
+    return AddressLayout::sharedWord(AddressLayout::stripedIndex(
+        owner * slice + ctx.sharedCursor, ctx.proc));
 }
 
 Instr
@@ -183,9 +190,10 @@ ThreadProgram::kernelInstr(ThreadContext &ctx) const
             ctx.proc * kKernelWordsPerProc
             + ctx.rng.below(kKernelWordsPerProc));
     } else {
-        addr = AddressLayout::kernelWord(
+        addr = AddressLayout::kernelWord(AddressLayout::stripedIndex(
             num_procs_ * kKernelWordsPerProc
-            + ctx.rng.below(kKernelSharedWords));
+                + ctx.rng.below(kKernelSharedWords),
+            ctx.proc));
     }
     if (ctx.rng.chancePerMille(400))
         return Instr{Op::kStore, addr, storeValue(ctx)};
@@ -248,9 +256,10 @@ ThreadProgram::workInstr(ThreadContext &ctx, bool in_critical) const
             ProcId owner = ctx.proc;
             if (ctx.rng.chancePerMille(profile_.remotePerMille))
                 owner = static_cast<ProcId>(ctx.rng.below(num_procs_));
-            addr = AddressLayout::sharedWord(
+            addr = AddressLayout::sharedWord(AddressLayout::stripedIndex(
                 owner * slice
-                + (ctx.sharedStoreBase + ctx.rng.below(192)) % slice);
+                    + (ctx.sharedStoreBase + ctx.rng.below(192)) % slice,
+                ctx.proc));
         } else {
             addr = AddressLayout::privateWord(
                 ctx.proc, (ctx.privStoreBase + ctx.rng.below(192))
@@ -298,6 +307,14 @@ ThreadProgram::generate(ThreadContext &ctx) const
     if (ctx.hasPendingAccess) {
         ctx.hasPendingAccess = false;
         return ctx.pendingAccess;
+    }
+    if (ctx.raceRemaining > 0) {
+        const std::uint32_t step =
+            2 * profile_.seededRaceWords - ctx.raceRemaining;
+        const Addr addr = AddressLayout::raceWord(step / 2);
+        if ((step & 1) == 0)
+            return Instr{Op::kStore, addr, storeValue(ctx)};
+        return Instr{Op::kLoad, addr, 0};
     }
 
     switch (ctx.state) {
@@ -354,6 +371,11 @@ ThreadProgram::observe(ThreadContext &ctx, const Instr &instr,
     }
     if (ctx.trapRemaining > 0) {
         --ctx.trapRemaining;
+        return;
+    }
+    // Seeded-race burst instructions do not advance the phase machine.
+    if (ctx.raceRemaining > 0) {
+        --ctx.raceRemaining;
         return;
     }
 

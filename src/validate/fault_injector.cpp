@@ -766,6 +766,9 @@ runArchiveMutant(const std::vector<std::uint8_t> &archive,
             const Recording view = reader->readInterval(from);
             ReplayCheckOptions iopts = opts;
             iopts.startCheckpoint = 0;
+            // The race detector needs the complete commit history;
+            // detector sweeps still fence this leg, just detector-off.
+            iopts.detectRaces = false;
             interval =
                 classifyRecording(view, iopts, interval_message);
         } catch (const ArchiveError &e) {

@@ -110,6 +110,15 @@ checkedReplay(const Recording &rec, const ReplayCheckOptions &opts)
 {
     ReplayCheckResult result;
 
+    if (opts.detectRaces
+        && (opts.startCheckpoint != ReplayCheckOptions::kFullRun
+            || opts.stopCheckpoint != ReplayCheckOptions::kFullRun)) {
+        result.report.kind = DivergenceKind::kFormatError;
+        result.report.message = "race detection requires a full-run "
+                                "replay, not an interval replay";
+        return result;
+    }
+
     const std::optional<Workload> workload = prepareWorkload(rec, result);
     if (!workload)
         return result;
@@ -151,10 +160,16 @@ checkedReplay(const Recording &rec, const ReplayCheckOptions &opts)
         eopts.stopCheckpoint = &rec.checkpoints[opts.stopCheckpoint];
     }
 
+    RaceDetector detector;
+    if (opts.detectRaces)
+        eopts.observer = &detector;
+
     try {
         ChunkEngine engine(*workload, rec.machine, rec.mode, eopts);
         result.outcome = engine.replay(rec);
         result.replayRan = true;
+        if (opts.detectRaces)
+            result.races = detector.report();
     } catch (const ReplayError &e) {
         result.report.kind = DivergenceKind::kReplayError;
         result.report.message = e.what();
@@ -184,10 +199,17 @@ checkedParallelReplay(const Recording &rec,
     if (!workload)
         return result;
 
+    RaceDetector detector;
+    ParallelReplayOptions eff = popts;
+    if (opts.detectRaces)
+        eff.observer = &detector;
+
     try {
-        ParallelReplayer replayer(popts);
+        ParallelReplayer replayer(eff);
         result.outcome = replayer.replay(rec, *workload);
         result.replayRan = true;
+        if (opts.detectRaces)
+            result.races = detector.report();
     } catch (const ReplayError &e) {
         result.report.kind = DivergenceKind::kReplayError;
         result.report.message = e.what();

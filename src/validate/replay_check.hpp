@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "analysis/race_detector.hpp"
 #include "core/engine.hpp"
 #include "core/recording.hpp"
 #include "sim/parallel_replay.hpp"
@@ -63,6 +64,11 @@ struct ReplayCheckOptions
     /// greater than startCheckpoint). kFullRun runs to program end.
     /// Only meaningful for the serial engine (checkedReplay).
     std::size_t stopCheckpoint = kFullRun;
+    /// Attach the happens-before race detector (analysis/) to the
+    /// replay and fill ReplayCheckResult::races. Requires a full-run
+    /// replay: combining with startCheckpoint/stopCheckpoint is
+    /// rejected as a kFormatError report before the replay starts.
+    bool detectRaces = false;
 };
 
 /** Outcome of a checked replay. */
@@ -77,6 +83,9 @@ struct ReplayCheckResult
     ReplayOutcome outcome;
     /// True when the engine ran to completion (even if divergent).
     bool replayRan = false;
+    /// Race-detector output; meaningful only when the options asked
+    /// for detection and the replay ran to completion.
+    RaceReport races;
 };
 
 /**

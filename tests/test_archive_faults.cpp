@@ -116,6 +116,36 @@ TEST_P(ArchiveFaultSweep, MmapPathFencesMutantsIdentically)
         << name;
 }
 
+TEST(ArchiveFaultSweepDetector, DetectorLegNeverCrashesHangsOrLies)
+{
+    // Detector leg of the 540-mutant bucket: corrupted archives fed
+    // to a replay with the race detector attached must still end in a
+    // typed ArchiveError / RecordingFormatError rejection, an
+    // identical replay, or a structured divergence — never a crash or
+    // hang. A seeded-race base recording keeps the detector live on
+    // every mutant that survives to replay.
+    MachineConfig machine;
+    machine.numProcs = 4;
+    const Workload workload("fft~r2", machine.numProcs, kSeed,
+                            WorkloadScale{10});
+    const Recording rec =
+        Recorder(ModeConfig::orderOnly(), machine)
+            .record(workload, /*env_seed=*/1, true, {}, 25);
+    ASSERT_GE(rec.checkpoints.size(), 1u);
+
+    ReplayCheckOptions opts;
+    opts.detectRaces = true;
+    const ArchiveFaultSweepSummary sweep =
+        runArchiveFaultSweep(rec, kMutantsPerKind, /*seed0=*/kSeed,
+                             opts);
+    EXPECT_EQ(sweep.total, kMutantsPerKind * kArchiveMutationKinds);
+    EXPECT_TRUE(sweep.ok()) << sweep.describe();
+    EXPECT_GT(sweep.rejectedAtLoad, 0u);
+    EXPECT_GT(sweep.replayedIdentically + sweep.divergenceDetected
+                  + sweep.replayErrorReported,
+              0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, ArchiveFaultSweep, testing::Range(0, 3));
 
 /**

@@ -79,6 +79,33 @@ TEST_P(FaultSweep, MutantsNeverCrashHangOrLie)
 
 INSTANTIATE_TEST_SUITE_P(Modes, FaultSweep, testing::Range(0, 3));
 
+TEST(FaultSweepDetector, DetectorLegNeverCrashesHangsOrLies)
+{
+    // Detector leg of the sweep: the same no-crash/no-hang contract
+    // with the happens-before race detector attached to every replay.
+    // The base recording seeds races (fft~r2) and records through 4
+    // arbiter shards, so the detector is live on every surviving
+    // mutant and the mask mutation kinds have a mask section to hit.
+    MachineConfig machine;
+    machine.numProcs = 4;
+    machine.bulk.numArbiters = 4;
+    const Workload workload("fft~r2", machine.numProcs, kSeed,
+                            WorkloadScale{10});
+    const Recording rec =
+        Recorder(ModeConfig::orderOnly(), machine).record(workload, 1);
+
+    ReplayCheckOptions opts;
+    opts.detectRaces = true;
+    const FaultSweepSummary sweep =
+        runFaultSweep(rec, kMutantsPerKind, /*seed0=*/kSeed, opts);
+    EXPECT_EQ(sweep.total, kMutantsPerKind * kMutationKinds);
+    EXPECT_TRUE(sweep.ok()) << sweep.describe();
+    EXPECT_GT(sweep.rejectedAtLoad, 0u);
+    EXPECT_GT(sweep.replayedIdentically + sweep.divergenceDetected
+                  + sweep.replayErrorReported,
+              0u);
+}
+
 TEST(FaultInjector, MutationsAreDeterministic)
 {
     const std::string bytes(1024, '\x5A');

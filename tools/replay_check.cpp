@@ -17,6 +17,14 @@
  * it exits 1 with the loader's structured rejection, which is the
  * behavior the fault injector certifies.
  *
+ * `--detect-races` (anywhere on the command line) attaches the
+ * happens-before race detector to the checked replay of <file> and
+ * prints its report. The serial and chunk-parallel replays must
+ * produce byte-identical reports or the run exits 1; seeded or real
+ * races are findings, not failures, so a deterministic replay that
+ * surfaces races still exits 0. Interval replays (--from/--to) reject
+ * the flag: the detector needs the complete commit history.
+ *
  * `--jobs <n>` (anywhere on the command line) sets the worker count
  * for every parallel path — differential fan-out and chunk-parallel
  * replay — overriding DELOREAN_JOBS. Checked file replays always
@@ -59,6 +67,9 @@ namespace
 /// Archive data-plane knobs (--io-threads / --no-mmap), set in main.
 ArchiveIoOptions archive_io;
 
+/// --detect-races: attach the happens-before detector to file replays.
+bool detect_races = false;
+
 unsigned
 envUnsigned(const char *name, unsigned fallback)
 {
@@ -85,8 +96,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: replay_check [--jobs <n>] [--from <gcc> [--to <gcc>]] "
-        "<file>\n"
+        "usage: replay_check [--jobs <n>] [--detect-races] "
+        "[--from <gcc> [--to <gcc>]] <file>\n"
         "       replay_check --record <app> <mode> <file>\n"
         "       replay_check --list-checkpoints <file>\n"
         "       replay_check [--jobs <n>] --differential [<app>|all]\n"
@@ -98,7 +109,10 @@ usage()
         "--list-checkpoints to see the seekable GCCs.\n"
         "archive loads also accept --io-threads <n> (segment codec\n"
         "pool size) and --no-mmap (buffered instead of zero-copy\n"
-        "reads); neither changes what is read, only how fast.\n");
+        "reads); neither changes what is read, only how fast.\n"
+        "--detect-races runs the happens-before race detector during\n"
+        "the checked replay and prints its report (full-run file\n"
+        "replays only; serial and parallel reports must match).\n");
     return 2;
 }
 
@@ -263,6 +277,9 @@ doCheckInterval(const std::string &path, std::uint64_t from_gcc,
 {
     Recording rec;
     ReplayCheckOptions opts;
+    // Deliberately forwarded: checkedReplay rejects the combination
+    // with a structured report (the detector needs the full history).
+    opts.detectRaces = detect_races;
     try {
         if (ArchiveReader::fileLooksLikeArchive(path)) {
             const ArchiveReader reader = ArchiveReader::fromFile(path, archive_io);
@@ -355,7 +372,9 @@ doCheckFile(const std::string &path, unsigned jobs)
         return 1;
     }
 
-    const ReplayCheckResult check = checkedReplay(rec);
+    ReplayCheckOptions copts;
+    copts.detectRaces = detect_races;
+    const ReplayCheckResult check = checkedReplay(rec, copts);
     if (!check.ok) {
         std::printf("%s: %s\n%s\n", path.c_str(),
                     divergenceKindName(check.report.kind),
@@ -367,7 +386,8 @@ doCheckFile(const std::string &path, unsigned jobs)
     // chunk-parallel replayer against it.
     ParallelReplayOptions popts;
     popts.jobs = jobs;
-    const ReplayCheckResult par = checkedParallelReplay(rec, popts);
+    const ReplayCheckResult par =
+        checkedParallelReplay(rec, popts, copts);
     const bool par_matches_serial =
         par.replayRan
         && (rec.stratified()
@@ -382,6 +402,23 @@ doCheckFile(const std::string &path, unsigned jobs)
                     par.ok ? "differs from serial" : "diverged",
                     par.report.describe().c_str());
         return 1;
+    }
+
+    if (detect_races) {
+        // The race report is a pure function of the recording; the
+        // serial engine and the chunk-parallel replayer must agree
+        // byte-for-byte or the plugin re-sequencing is broken.
+        const std::string serial_report = check.races.describe();
+        const std::string parallel_report = par.races.describe();
+        if (serial_report != parallel_report) {
+            std::printf("%s: race reports differ between serial and "
+                        "chunk-parallel replay\n--- serial ---\n%s"
+                        "--- parallel ---\n%s",
+                        path.c_str(), serial_report.c_str(),
+                        parallel_report.c_str());
+            return 1;
+        }
+        std::printf("%s", serial_report.c_str());
     }
 
     std::printf("%s: replay deterministic, serial == parallel "
@@ -499,6 +536,13 @@ main(int argc, char **argv)
         if (args[i] != "--no-mmap")
             continue;
         archive_io.mmapReads = false;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--detect-races")
+            continue;
+        detect_races = true;
         args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
         break;
     }
