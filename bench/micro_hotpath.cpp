@@ -245,27 +245,40 @@ main()
         json.field("bytes_identical", identical);
     }
 
-    // ---- 4. End-to-end record: summary filter on vs off ------------
-    // The escape hatch must not change architecture: fingerprints and
-    // log sizes are asserted identical; only the counters and wall
-    // clock may differ.
+    // ---- 4. End-to-end record: summary filter forced/adaptive ------
+    // Three policies via DELOREAN_SUMMARY_FILTER: forced on, forced
+    // off, and the adaptive default that probes both and keeps the
+    // winner. None may change architecture: fingerprints and commit
+    // counts are asserted identical; only the counters and wall clock
+    // may differ. Adaptive must land within noise of the better
+    // forced policy — that is the fix for the old always-on filter
+    // losing to the plain word walk on filter-hostile workloads.
     Recording rec_on;
     {
         const Workload workload("radix", 8, kSeed,
                                 WorkloadScale{scale});
         unsetenv("DELOREAN_NO_SUMMARY_FILTER");
+        setenv("DELOREAN_SUMMARY_FILTER", "on", 1);
         double on_s = 0.0;
         rec_on = recordOnce(workload, &on_s);
 
-        setenv("DELOREAN_NO_SUMMARY_FILTER", "1", 1);
+        setenv("DELOREAN_SUMMARY_FILTER", "off", 1);
         double off_s = 0.0;
         const Recording rec_off = recordOnce(workload, &off_s);
-        unsetenv("DELOREAN_NO_SUMMARY_FILTER");
+
+        unsetenv("DELOREAN_SUMMARY_FILTER");
+        double adaptive_s = 0.0;
+        const Recording rec_adaptive =
+            recordOnce(workload, &adaptive_s);
 
         const bool identical =
             rec_on.fingerprint.matchesExact(rec_off.fingerprint)
+            && rec_on.fingerprint.matchesExact(
+                rec_adaptive.fingerprint)
             && rec_on.stats.committedChunks
-                   == rec_off.stats.committedChunks;
+                   == rec_off.stats.committedChunks
+            && rec_on.stats.committedChunks
+                   == rec_adaptive.stats.committedChunks;
         const EngineStats &st = rec_on.stats;
         std::printf("engine: commits=%" PRIu64 " squashes=%" PRIu64
                     " summary_rejects=%" PRIu64
@@ -279,9 +292,13 @@ main()
                     st.logWordFlushes, identical ? "yes" : "no");
         std::fprintf(stderr,
                      "engine: filter on %.3fs (%.0f commits/s), "
-                     "off %.3fs (%.0f commits/s)\n",
+                     "off %.3fs (%.0f commits/s), adaptive %.3fs "
+                     "(%.0f commits/s, %" PRIu64 " deactivations)\n",
                      on_s, st.committedChunks / on_s, off_s,
-                     rec_off.stats.committedChunks / off_s);
+                     rec_off.stats.committedChunks / off_s,
+                     adaptive_s,
+                     rec_adaptive.stats.committedChunks / adaptive_s,
+                     rec_adaptive.stats.sigFilterDeactivations);
 
         json.section("engine");
         json.field("commits", st.committedChunks);
@@ -293,8 +310,13 @@ main()
         json.field("log_word_flushes", st.logWordFlushes);
         json.field("filter_on_seconds", on_s);
         json.field("filter_off_seconds", off_s);
+        json.field("filter_adaptive_seconds", adaptive_s);
+        json.field("filter_adaptive_deactivations",
+                   rec_adaptive.stats.sigFilterDeactivations);
         json.field("filter_on_commits_per_sec",
                    st.committedChunks / on_s);
+        json.field("filter_adaptive_commits_per_sec",
+                   rec_adaptive.stats.committedChunks / adaptive_s);
         json.field("fingerprint_identical", identical);
     }
 

@@ -61,7 +61,18 @@ ChunkEngine::ChunkEngine(const Workload &workload,
         throw ConfigError("numProcs must be in [1, 64], got "
                           + std::to_string(n_));
     if (const char *env = std::getenv("DELOREAN_NO_SUMMARY_FILTER"))
-        summary_filter_ = !(*env && *env != '0');
+        if (*env && *env != '0')
+            filter_mode_ = FilterMode::kForceOff;
+    if (filter_mode_ == FilterMode::kAdaptive) {
+        if (const char *env = std::getenv("DELOREAN_SUMMARY_FILTER")) {
+            const std::string v(env);
+            if (v == "0" || v == "off")
+                filter_mode_ = FilterMode::kForceOff;
+            else if (!v.empty())
+                filter_mode_ = FilterMode::kForceOn;
+        }
+    }
+    summary_filter_ = filter_mode_ != FilterMode::kForceOff;
     proc_unions_.resize(n_);
     workload_.initializeMemory(mem_);
     const unsigned l1_sets =
@@ -328,6 +339,24 @@ ChunkEngine::maybeCheckpoint()
         ckpt.rrNext = (fp_.commits.back().proc + 1)
                       % static_cast<ProcId>(n_);
     rec_->checkpoints.push_back(std::move(ckpt));
+
+    if (opts_.onCheckpoint) {
+        // Streaming consumers slice the strata and fingerprint logs
+        // at checkpoint boundaries, but both live in the engine until
+        // the run ends: sync the strata cut above and the append-only
+        // commit-record tail. The final assignments at the end of
+        // record() overwrite these with the finished logs.
+        if (stratifier_)
+            rec_->strata = stratifier_->strata();
+        std::vector<CommitRecord> &commits =
+            rec_->fingerprint.commits;
+        commits.insert(commits.end(),
+                       fp_.commits.begin()
+                           + static_cast<std::ptrdiff_t>(
+                               commits.size()),
+                       fp_.commits.end());
+        opts_.onCheckpoint(*rec_);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -964,11 +993,62 @@ ChunkEngine::sweepConflicts(ProcId committing,
         ++stats_.unionSweepSkips;
     else
         ++stats_.conflictSweeps;
+    if (filter_mode_ == FilterMode::kAdaptive)
+        maybeAdaptFilter();
+}
+
+void
+ChunkEngine::maybeAdaptFilter()
+{
+    if (summary_filter_) {
+        if (++filter_window_sweeps_ < kFilterProbeWindow)
+            return;
+        const std::uint64_t rejects =
+            stats_.sigSummaryRejects - filter_window_rejects_;
+        const std::uint64_t hits =
+            stats_.sigSummaryHits - filter_window_hits_;
+        const std::uint64_t skips =
+            stats_.unionSweepSkips - filter_window_skips_;
+        // The filter pays for itself when the summary prechecks
+        // reject often (each reject saves a full word sweep) or the
+        // per-proc unions skip whole processors. Below a 25% benefit
+        // rate on both counts the prechecks and union upkeep are pure
+        // overhead — exactly the conflict-heavy profile where every
+        // summary intersects — so drop them until the next re-probe.
+        const std::uint64_t tests = rejects + hits;
+        const bool summaries_pay = tests != 0 && rejects * 4 >= tests;
+        const bool unions_pay = skips * 4 >= filter_window_sweeps_;
+        if (!summaries_pay && !unions_pay) {
+            summary_filter_ = false;
+            filter_off_sweeps_ = 0;
+            ++stats_.sigFilterDeactivations;
+        }
+        filter_window_sweeps_ = 0;
+        filter_window_hits_ = stats_.sigSummaryHits;
+        filter_window_rejects_ = stats_.sigSummaryRejects;
+        filter_window_skips_ = stats_.unionSweepSkips;
+    } else {
+        if (++filter_off_sweeps_ < kFilterReprobePeriod)
+            return;
+        // Re-probe: union upkeep was suspended while the filter was
+        // off, so rebuild every processor's in-flight union before
+        // trusting it again.
+        summary_filter_ = true;
+        filter_off_sweeps_ = 0;
+        filter_window_sweeps_ = 0;
+        filter_window_hits_ = stats_.sigSummaryHits;
+        filter_window_rejects_ = stats_.sigSummaryRejects;
+        filter_window_skips_ = stats_.unionSweepSkips;
+        for (ProcId p = 0; p < n_; ++p)
+            rebuildProcUnion(p);
+    }
 }
 
 void
 ChunkEngine::noteChunkInflight(ProcId p, const EngineChunk &chunk)
 {
+    if (!summary_filter_)
+        return; // unions are rebuilt wholesale on re-probe
     proc_unions_[p].unionWith(chunk.sigs.read);
     proc_unions_[p].unionWith(chunk.sigs.write);
 }
@@ -980,6 +1060,8 @@ ChunkEngine::rebuildProcUnion(ProcId p)
     // surviving chunks whenever one leaves the window. clear() is an
     // epoch bump and the window holds only a handful of chunks, so
     // this stays cheap enough to run on every commit and squash.
+    if (!summary_filter_)
+        return;
     Signature &u = proc_unions_[p];
     u.clear();
     for (const auto &c : procs_[p].inflight) {

@@ -24,6 +24,7 @@
 #define DELOREAN_CORE_ENGINE_HPP_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -118,6 +119,17 @@ struct EngineOptions
     /// Borrowed — must outlive the replay. Incompatible with interval
     /// replay (ConfigError): analyses need the full commit history.
     ReplayObserver *observer = nullptr;
+    /// Record only: segment-flush hook, invoked on the simulation
+    /// thread at the end of every checkpoint, after the checkpoint has
+    /// been pushed onto the recording. At that point every log is
+    /// complete up to the checkpoint GCC (PI/CS/input appends happen
+    /// before the commit's checkpoint test, and for stratified modes
+    /// rec.strata is synced to the stratifier before the call), so a
+    /// streaming consumer — the archive's StreamingArchiveWriter — can
+    /// cut the segment ending at rec.checkpoints.back() while the
+    /// simulation continues. The callee must not retain references
+    /// into the recording across calls: logs keep growing.
+    std::function<void(const Recording &)> onCheckpoint;
 };
 
 /** Outcome of a replay run. */
@@ -317,9 +329,38 @@ class ChunkEngine
     void noteChunkInflight(ProcId p, const EngineChunk &chunk);
     void rebuildProcUnion(ProcId p);
 
-    /// DELOREAN_NO_SUMMARY_FILTER=1 escape hatch: fall back to full
-    /// word-level intersections and per-chunk sweeps.
+    /// Summary-filter policy. DELOREAN_SUMMARY_FILTER=on forces the
+    /// filter, =off (or the original DELOREAN_NO_SUMMARY_FILTER=1
+    /// escape hatch) falls back to full word-level intersections and
+    /// per-chunk sweeps, and unset runs the adaptive policy: probe
+    /// windows of commit sweeps measure the summary reject rate and
+    /// the union sweep-skip rate, and the filter is dropped while the
+    /// workload's conflict profile makes its prechecks pure overhead
+    /// (summaries almost always intersecting), re-probing periodically
+    /// in case the profile shifts. Never architectural: the recording
+    /// is byte-identical under every policy.
+    enum class FilterMode : std::uint8_t
+    {
+        kAdaptive,
+        kForceOn,
+        kForceOff,
+    };
+    FilterMode filter_mode_ = FilterMode::kAdaptive;
+    /// Current filter state (fixed for forced modes).
     bool summary_filter_ = true;
+    /// Adaptive bookkeeping: sweeps observed in the open probe window,
+    /// counter snapshots at its start, and sweeps spent filtered off.
+    std::uint64_t filter_window_sweeps_ = 0;
+    std::uint64_t filter_window_hits_ = 0;
+    std::uint64_t filter_window_rejects_ = 0;
+    std::uint64_t filter_window_skips_ = 0;
+    std::uint64_t filter_off_sweeps_ = 0;
+    void maybeAdaptFilter();
+    /// Sweeps per probe window; small so a filter-hostile workload
+    /// sheds the overhead early in the run.
+    static constexpr std::uint64_t kFilterProbeWindow = 128;
+    /// Sweeps spent unfiltered before probing again.
+    static constexpr std::uint64_t kFilterReprobePeriod = 4096;
     /// Per-processor OR of that processor's in-flight chunk R and W
     /// signatures. Exact over the live window: rebuilt whenever
     /// chunks leave it (commit pop or squash), which is cheap because

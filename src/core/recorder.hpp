@@ -42,12 +42,18 @@ class Recorder
      *        global commit counts (ascending), for interval replay
      * @param checkpoint_period additionally checkpoint every this many
      *        global commits (0 = off) — the archive segment period
+     * @param on_checkpoint segment-flush hook, fired on the recording
+     *        thread after every checkpoint with the in-progress
+     *        recording (EngineOptions::onCheckpoint) — this is how a
+     *        StreamingArchiveWriter overlaps archive compression and
+     *        I/O with the rest of the simulation
      */
     Recording
     record(const Workload &workload, std::uint64_t env_seed,
            bool logging = true,
            std::vector<std::uint64_t> checkpoint_gccs = {},
-           std::uint64_t checkpoint_period = 0) const
+           std::uint64_t checkpoint_period = 0,
+           std::function<void(const Recording &)> on_checkpoint = {}) const
     {
         EngineOptions opts;
         opts.replay = false;
@@ -55,6 +61,7 @@ class Recorder
         opts.envSeed = env_seed;
         opts.checkpointGccs = std::move(checkpoint_gccs);
         opts.checkpointPeriod = checkpoint_period;
+        opts.onCheckpoint = std::move(on_checkpoint);
         ChunkEngine engine(workload, machine_, mode_, opts);
         Recording rec = engine.record();
         rec.iterationsPercent = workload.iterationsPercent();

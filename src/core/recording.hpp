@@ -60,6 +60,11 @@ struct EngineStats
     std::uint64_t unionSweepSkips = 0;
     /// Commit-time conflict sweeps that did walk running chunks.
     std::uint64_t conflictSweeps = 0;
+    /// Adaptive summary filter: probe windows that measured the
+    /// filter as pure overhead and dropped it (see
+    /// ChunkEngine::maybeAdaptFilter). Always 0 under the forced
+    /// DELOREAN_SUMMARY_FILTER=on/off policies.
+    std::uint64_t sigFilterDeactivations = 0;
     /// Same-cycle arbiter wakeups merged into one drain pass.
     std::uint64_t arbiterWakeupsCoalesced = 0;
 

@@ -32,9 +32,18 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+
+// Explicit SIMD lane sweeps (GNU vector extensions) for the word-level
+// intersection/union hot paths. Portable fallback: the scalar loops
+// below are branch-free and auto-vectorizable, so DELOREAN_NO_SIMD=
+// defined (or a non-GNU compiler) only costs the explicit widening.
+#if defined(__GNUC__) && !defined(DELOREAN_NO_SIMD)
+#define DELOREAN_SIG_SIMD 1
+#endif
 
 namespace delorean
 {
@@ -124,6 +133,20 @@ class SignatureT
     bool
     intersectsWords(const SignatureT &other) const
     {
+#if DELOREAN_SIG_SIMD
+        if constexpr (kBankWords % kSimdLanes == 0) {
+            for (unsigned b = 0; b < kBanks; ++b) {
+                V2u64 acc{};
+                for (unsigned i = 0; i < kBankWords; i += kSimdLanes) {
+                    const unsigned w = b * kBankWords + i;
+                    acc |= maskedPair(w) & other.maskedPair(w);
+                }
+                if ((acc[0] | acc[1]) == 0)
+                    return false;
+            }
+            return true;
+        }
+#endif
         for (unsigned b = 0; b < kBanks; ++b) {
             std::uint64_t hit = 0;
             for (unsigned i = 0; i < kBankWords; ++i)
@@ -156,6 +179,21 @@ class SignatureT
             if (!other.summary_[b])
                 continue; // whole bank empty in other
             summary_[b] |= other.summary_[b];
+#if DELOREAN_SIG_SIMD
+            if constexpr (kBankWords % kSimdLanes == 0) {
+                const V2u32 cur = {epoch_, epoch_};
+                for (unsigned i = 0; i < kBankWords; i += kSimdLanes) {
+                    const unsigned w = b * kBankWords + i;
+                    const V2u64 merged =
+                        maskedPair(w) | other.maskedPair(w);
+                    std::memcpy(words_.data() + w, &merged,
+                                sizeof merged);
+                    std::memcpy(word_epoch_.data() + w, &cur,
+                                sizeof cur);
+                }
+                continue;
+            }
+#endif
             for (unsigned i = 0; i < kBankWords; ++i) {
                 const unsigned w = b * kBankWords + i;
                 words_[w] = maskedWord(w) | other.maskedWord(w);
@@ -249,6 +287,35 @@ class SignatureT
     }
 
   private:
+#if DELOREAN_SIG_SIMD
+    /// 128-bit lanes: the baseline vector width on both x86-64 (SSE2)
+    /// and aarch64 (NEON), so no arch flags are needed and no ABI
+    /// warnings fire for by-value vector returns.
+    static constexpr unsigned kSimdLanes = 2;
+    using V2u64 = std::uint64_t __attribute__((vector_size(16)));
+    using V2u32 = std::uint32_t __attribute__((vector_size(8)));
+    using V2i64 = std::int64_t __attribute__((vector_size(16)));
+
+    /**
+     * Two consecutive maskedWord() lanes as one vector: unaligned
+     * loads of the words and their epoch tags, a lane-wise compare of
+     * the tags against the live epoch (yielding all-ones/all-zero
+     * 32-bit lanes, sign-extended to 64), and a mask AND. The compare
+     * replaces the data-dependent epoch branches with one SIMD op.
+     */
+    V2u64
+    maskedPair(unsigned i) const
+    {
+        V2u64 w;
+        std::memcpy(&w, words_.data() + i, sizeof w);
+        V2u32 e;
+        std::memcpy(&e, word_epoch_.data() + i, sizeof e);
+        const V2u32 cur = {epoch_, epoch_};
+        const V2i64 live = __builtin_convertvector(e == cur, V2i64);
+        return w & reinterpret_cast<const V2u64 &>(live);
+    }
+#endif
+
     /** Word @p i with stale (pre-clear) content read as zero. */
     std::uint64_t
     word(unsigned i) const

@@ -275,6 +275,23 @@ recordJobKey(const RecordJob &job)
 const Recording &
 RecordingCache::record(const RecordJob &job, bool *fresh)
 {
+    return recordWith(
+        job,
+        [&job] {
+            const Workload workload(job.app, job.machine.numProcs,
+                                    job.workloadSeed,
+                                    WorkloadScale{job.scalePercent});
+            const Recorder recorder(job.mode, job.machine);
+            return recorder.record(workload, job.envSeed, job.logging);
+        },
+        fresh);
+}
+
+const Recording &
+RecordingCache::recordWith(const RecordJob &job,
+                           const std::function<Recording()> &run,
+                           bool *fresh)
+{
     Entry *entry;
     {
         std::lock_guard<std::mutex> guard(mu_);
@@ -290,11 +307,7 @@ RecordingCache::record(const RecordJob &job, bool *fresh)
 
     std::lock_guard<std::mutex> guard(entry->mu);
     if (!entry->done) {
-        const Workload workload(job.app, job.machine.numProcs,
-                                job.workloadSeed,
-                                WorkloadScale{job.scalePercent});
-        const Recorder recorder(job.mode, job.machine);
-        entry->rec = recorder.record(workload, job.envSeed, job.logging);
+        entry->rec = run();
         entry->done = true;
         ++misses_;
         if (fresh)

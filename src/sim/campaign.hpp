@@ -169,6 +169,22 @@ class RecordingCache
      */
     const Recording &record(const RecordJob &job, bool *fresh = nullptr);
 
+    /**
+     * record() with a caller-supplied initial execution: @p run is
+     * invoked (exactly once per distinct key, under the entry lock)
+     * to produce the recording. This is how the streaming service
+     * records with a checkpoint period and an incremental archive
+     * hook while still deduplicating identical sessions: the functor
+     * runs only on the first request for a key; every later request
+     * (and every concurrent one, once the entry lock releases) gets
+     * the cached recording and @p fresh = false. The functor must
+     * produce a recording determined by @p job alone.
+     */
+    const Recording &
+    recordWith(const RecordJob &job,
+               const std::function<Recording()> &run,
+               bool *fresh = nullptr);
+
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
 

@@ -1,12 +1,14 @@
 #include "store/archive.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <fstream>
 #include <functional>
 #include <iterator>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "compress/lz77.hpp"
@@ -215,6 +217,91 @@ buildSegmentPayload(const Recording &rec, const Boundary &lo,
         put(c.accAfter);
     }
     return std::move(out).str();
+}
+
+/**
+ * Replay the recorder's variable-width log packing for the slice
+ * between @p prev and @p cur onto the scratch logs, so the scratch
+ * write pointers land exactly where a hardware recorder's would at
+ * the boundary. Shared by the batch and streaming writers — the
+ * footer's per-segment bit positions must agree bit-for-bit.
+ */
+void
+advanceScratchLogs(const Recording &rec, const Boundary &prev,
+                   const Boundary &cur, PiLog &scratch_pi,
+                   std::vector<CsLog> &scratch_cs)
+{
+    const unsigned n = rec.machine.numProcs;
+    if (!rec.stratified() && rec.mode.mode != ExecMode::kPicoLog) {
+        for (std::uint64_t g = prev.gcc;
+             g < std::min<std::uint64_t>(cur.gcc, rec.pi.entryCount());
+             ++g) {
+            if (rec.pi.hasMasks())
+                scratch_pi.appendWithMask(rec.pi.entryAt(g),
+                                          rec.pi.maskAt(g));
+            else
+                scratch_pi.append(rec.pi.entryAt(g));
+        }
+    }
+    for (ProcId p = 0; p < n; ++p)
+        for (const CsEntry &e : rec.cs[p].entries())
+            if (e.seq >= prev.committed[p]
+                && e.seq < cur.committed[p]) {
+                if (rec.mode.mode == ExecMode::kOrderAndSize)
+                    scratch_cs[p].appendCommittedSize(e.seq, e.size,
+                                                      e.maxSize);
+                else
+                    scratch_cs[p].appendTruncation(e.seq, e.size);
+            }
+}
+
+/**
+ * Serialize the footer: recording metadata plus the per-segment
+ * index. Shared by the batch and streaming writers.
+ */
+std::string
+buildFooterRaw(const Recording &rec,
+               const std::vector<ArchiveSegmentInfo> &segments)
+{
+    std::ostringstream footer(std::ios::binary);
+    putMachine(footer, rec.machine);
+    putMode(footer, rec.mode);
+    putString(footer, rec.appName);
+    serialize_detail::putU64(footer, rec.workloadSeed);
+    serialize_detail::putU64(footer, rec.iterationsPercent);
+    serialize_detail::putU64(footer, rec.stats.totalCycles);
+    serialize_detail::putU64(footer, rec.stats.retiredInstrs);
+    serialize_detail::putU64(footer, rec.stats.executedInstrs);
+    serialize_detail::putU64(footer, rec.stats.committedChunks);
+    serialize_detail::putU64(footer, rec.stats.squashes);
+    serialize_detail::putU64(footer, rec.stats.overflowTruncations);
+    serialize_detail::putU64(footer, rec.stats.collisionTruncations);
+    serialize_detail::putU64(footer, rec.stats.hardTruncations);
+    serialize_detail::putU64(footer, rec.fingerprint.perProcAcc.size());
+    for (std::size_t p = 0; p < rec.fingerprint.perProcAcc.size();
+         ++p) {
+        serialize_detail::putU64(footer, rec.fingerprint.perProcAcc[p]);
+        serialize_detail::putU64(footer,
+                                 rec.fingerprint.perProcRetired[p]);
+    }
+    serialize_detail::putU64(footer, rec.fingerprint.finalMemHash);
+    serialize_detail::putU64(footer, segments.size());
+    for (const ArchiveSegmentInfo &info : segments) {
+        serialize_detail::putU64(footer, info.endGcc);
+        serialize_detail::putU64(footer, info.fileOffset);
+        serialize_detail::putU64(footer, info.rawBytes);
+        serialize_detail::putU64(footer, info.compBytes);
+        serialize_detail::putU64(footer, info.crc32);
+        serialize_detail::putU64(footer, info.piBitsEnd);
+        serialize_detail::putU64(footer, info.strataBitsEnd);
+        serialize_detail::putU64(footer, info.csBitsEnd.size());
+        for (const std::uint64_t bits : info.csBitsEnd)
+            serialize_detail::putU64(footer, bits);
+        serialize_detail::putU64(footer, info.hasCheckpoint ? 1 : 0);
+        if (info.hasCheckpoint)
+            putCheckpoint(footer, info.checkpoint);
+    }
+    return std::move(footer).str();
 }
 
 /** Decoded counterpart of buildSegmentPayload. */
@@ -527,34 +614,12 @@ ArchiveWriter::write(const Recording &rec)
         info.rawBytes = seg.rawBytes;
         info.compBytes = seg.comp.size();
         info.crc32 = seg.crc;
-        if (!rec.stratified()
-            && rec.mode.mode != ExecMode::kPicoLog) {
-            for (std::uint64_t g = prev.gcc;
-                 g < std::min<std::uint64_t>(cur.gcc,
-                                             rec.pi.entryCount());
-                 ++g) {
-                if (rec.pi.hasMasks())
-                    scratch_pi.appendWithMask(rec.pi.entryAt(g),
-                                              rec.pi.maskAt(g));
-                else
-                    scratch_pi.append(rec.pi.entryAt(g));
-            }
-        }
+        advanceScratchLogs(rec, prev, cur, scratch_pi, scratch_cs);
         info.piBitsEnd = scratch_pi.sizeBits();
         info.strataBitsEnd = static_cast<std::uint64_t>(cur.strataIdx)
                              * n * strata_counter_bits;
-        for (ProcId p = 0; p < n; ++p) {
-            for (const CsEntry &e : rec.cs[p].entries())
-                if (e.seq >= prev.committed[p]
-                    && e.seq < cur.committed[p]) {
-                    if (rec.mode.mode == ExecMode::kOrderAndSize)
-                        scratch_cs[p].appendCommittedSize(e.seq, e.size,
-                                                          e.maxSize);
-                    else
-                        scratch_cs[p].appendTruncation(e.seq, e.size);
-                }
+        for (ProcId p = 0; p < n; ++p)
             info.csBitsEnd.push_back(scratch_cs[p].sizeBits());
-        }
         if (!tail) {
             info.hasCheckpoint = true;
             info.checkpoint = rec.checkpoints[i];
@@ -573,45 +638,7 @@ ArchiveWriter::write(const Recording &rec)
     }
 
     // Footer: metadata + segment index, compressed like the segments.
-    std::ostringstream footer(std::ios::binary);
-    putMachine(footer, rec.machine);
-    putMode(footer, rec.mode);
-    putString(footer, rec.appName);
-    serialize_detail::putU64(footer, rec.workloadSeed);
-    serialize_detail::putU64(footer, rec.iterationsPercent);
-    serialize_detail::putU64(footer, rec.stats.totalCycles);
-    serialize_detail::putU64(footer, rec.stats.retiredInstrs);
-    serialize_detail::putU64(footer, rec.stats.executedInstrs);
-    serialize_detail::putU64(footer, rec.stats.committedChunks);
-    serialize_detail::putU64(footer, rec.stats.squashes);
-    serialize_detail::putU64(footer, rec.stats.overflowTruncations);
-    serialize_detail::putU64(footer, rec.stats.collisionTruncations);
-    serialize_detail::putU64(footer, rec.stats.hardTruncations);
-    serialize_detail::putU64(footer, rec.fingerprint.perProcAcc.size());
-    for (std::size_t p = 0; p < rec.fingerprint.perProcAcc.size();
-         ++p) {
-        serialize_detail::putU64(footer, rec.fingerprint.perProcAcc[p]);
-        serialize_detail::putU64(footer,
-                                 rec.fingerprint.perProcRetired[p]);
-    }
-    serialize_detail::putU64(footer, rec.fingerprint.finalMemHash);
-    serialize_detail::putU64(footer, segments_.size());
-    for (const ArchiveSegmentInfo &info : segments_) {
-        serialize_detail::putU64(footer, info.endGcc);
-        serialize_detail::putU64(footer, info.fileOffset);
-        serialize_detail::putU64(footer, info.rawBytes);
-        serialize_detail::putU64(footer, info.compBytes);
-        serialize_detail::putU64(footer, info.crc32);
-        serialize_detail::putU64(footer, info.piBitsEnd);
-        serialize_detail::putU64(footer, info.strataBitsEnd);
-        serialize_detail::putU64(footer, info.csBitsEnd.size());
-        for (const std::uint64_t bits : info.csBitsEnd)
-            serialize_detail::putU64(footer, bits);
-        serialize_detail::putU64(footer, info.hasCheckpoint ? 1 : 0);
-        if (info.hasCheckpoint)
-            putCheckpoint(footer, info.checkpoint);
-    }
-    const std::string footer_raw = std::move(footer).str();
+    const std::string footer_raw = buildFooterRaw(rec, segments_);
     const std::vector<std::uint8_t> footer_comp =
         compressPayload(footer_raw);
     const std::uint64_t footer_offset = offset_;
@@ -643,6 +670,301 @@ writeArchiveFile(const Recording &rec, const std::string &path,
     if (!out)
         throw std::runtime_error("cannot open " + path + " for write");
     writeArchive(rec, out, io);
+}
+
+// ----- streaming writer -----------------------------------------------------
+
+/**
+ * Two-thread pipeline. The *feeder* (recording) thread cuts segment
+ * payloads synchronously — boundary math, buildSegmentPayload and the
+ * scratch-log replication all read the live recording, which keeps
+ * growing after each hook returns — and pushes owned Pending items
+ * onto `staging`. The *flusher* thread compresses, CRCs and writes a
+ * snatched batch; while it runs, the feeder keeps staging without
+ * blocking (double buffering). Handoff is by join: the feeder only
+ * touches `flushing`, `segments`, the pool and the stream after
+ * observing flush_done and joining, so no mutex is needed.
+ */
+struct StreamingArchiveWriter::Impl
+{
+    std::ostream *out;
+    ArchiveIoOptions io;
+    std::uint64_t offset = 0;
+
+    bool initialized = false;
+    bool is_closed = false;
+
+    // Scratch logs replicating the recorder's bit packing (footer
+    // bit-position index); see ArchiveWriter::write.
+    unsigned n = 0;
+    unsigned strata_counter_bits = 0;
+    PiLog scratch_pi{1};
+    std::vector<CsLog> scratch_cs;
+
+    Boundary last;                 ///< frontier at the last cut
+    std::uint64_t last_gcc = 0;    ///< last checkpoint GCC
+    std::size_t fed = 0;           ///< checkpoints consumed
+    std::size_t staged = 0;        ///< segments cut so far
+
+    /// A cut segment between payload build and file commit.
+    struct Pending
+    {
+        ArchiveSegmentInfo info; ///< compBytes/crc/offset filled late
+        std::string raw;
+    };
+    std::vector<Pending> staging;  ///< feeder-owned accumulation
+    std::vector<Pending> flushing; ///< flusher-owned batch
+    std::thread flusher;
+    std::atomic<bool> flush_done{true};
+    std::exception_ptr flush_error;
+    std::unique_ptr<WorkerPool> pool;
+    std::vector<ArchiveSegmentInfo> segments; ///< committed, in order
+
+    explicit Impl(std::ostream &o, const ArchiveIoOptions &opts)
+        : out(&o), io(opts)
+    {
+    }
+
+    ~Impl()
+    {
+        if (flusher.joinable())
+            flusher.join();
+    }
+
+    void
+    putBytes(const std::uint8_t *data, std::size_t size)
+    {
+        out->write(reinterpret_cast<const char *>(data),
+                   static_cast<std::streamsize>(size));
+        offset += size;
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        putBytes(bytes, 8);
+    }
+
+    void
+    ensureInit(const Recording &rec)
+    {
+        if (initialized)
+            return;
+        n = rec.machine.numProcs;
+        scratch_pi = PiLog(n);
+        if (rec.pi.hasMasks())
+            scratch_pi.enableMasks(rec.pi.maskBits());
+        scratch_cs.assign(n, CsLog(rec.mode));
+        strata_counter_bits =
+            rec.stratified()
+                ? Stratifier(n, rec.mode.stratifyChunksPerProc)
+                      .counterBits()
+                : 0;
+        last = Boundary{};
+        last.committed.assign(n, 0);
+        last.ioIdx.assign(n, 0);
+        putU64(kArchiveMagic);
+        putU64(kArchiveVersion);
+        initialized = true;
+    }
+
+    /** Rethrow a flusher failure on the feeder thread. */
+    void
+    rethrowFlushError()
+    {
+        if (flush_error) {
+            is_closed = true; // poisoned: the stream is mid-segment
+            std::exception_ptr e = flush_error;
+            flush_error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+    /**
+     * Compress the current `flushing` batch over the codec pool, then
+     * commit the segments to the stream in order. Runs on the flusher
+     * thread (or inline from close() for the final drain).
+     */
+    void
+    flushBatch()
+    {
+        const std::size_t count = flushing.size();
+        std::vector<std::vector<std::uint8_t>> comp(count);
+        if (!pool)
+            pool = std::make_unique<WorkerPool>(io.resolvedIoThreads());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            tasks.push_back([this, &comp, i] {
+                comp[i] = compressPayload(flushing[i].raw);
+            });
+        std::vector<std::exception_ptr> errors;
+        runIndexed(*pool, std::move(tasks), errors);
+        for (const std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+        for (std::size_t i = 0; i < count; ++i) {
+            Pending &p = flushing[i];
+            p.info.fileOffset = offset;
+            p.info.compBytes = comp[i].size();
+            p.info.crc32 = crc32(comp[i].data(), comp[i].size());
+            putU64(kSegmentMagic);
+            putU64(segments.size());
+            putU64(p.info.rawBytes);
+            putU64(p.info.compBytes);
+            putU64(p.info.crc32);
+            putBytes(comp[i].data(), comp[i].size());
+            segments.push_back(std::move(p.info));
+            std::vector<std::uint8_t>().swap(comp[i]);
+        }
+        flushing.clear();
+        if (!*out)
+            throw std::runtime_error("failed to write archive");
+    }
+
+    /**
+     * Hand staged work to the flusher. Non-blocking while a batch is
+     * in flight; when the flusher is idle, join it, surface its
+     * error (if any), and launch it on the accumulated batch.
+     */
+    void
+    pump()
+    {
+        if (!flush_done.load(std::memory_order_acquire))
+            return; // flusher busy; keep accumulating
+        if (flusher.joinable())
+            flusher.join();
+        rethrowFlushError();
+        if (staging.empty())
+            return;
+        flushing = std::move(staging);
+        staging.clear();
+        flush_done.store(false, std::memory_order_release);
+        flusher = std::thread([this] {
+            try {
+                flushBatch();
+            } catch (...) {
+                flush_error = std::current_exception();
+            }
+            flush_done.store(true, std::memory_order_release);
+        });
+    }
+
+    /** Block until the flusher is idle and its batch is committed. */
+    void
+    drain()
+    {
+        if (flusher.joinable())
+            flusher.join();
+        rethrowFlushError();
+        if (!staging.empty()) {
+            flushing = std::move(staging);
+            staging.clear();
+            flushBatch();
+        }
+    }
+
+    /** Cut the segment (last, hi] and stage it for the flusher. */
+    void
+    stage(const Recording &rec, const Boundary &hi,
+          const SystemCheckpoint *ckpt)
+    {
+        Pending p;
+        p.raw = buildSegmentPayload(rec, last, hi);
+        p.info.endGcc = hi.gcc;
+        p.info.rawBytes = p.raw.size();
+        advanceScratchLogs(rec, last, hi, scratch_pi, scratch_cs);
+        p.info.piBitsEnd = scratch_pi.sizeBits();
+        p.info.strataBitsEnd =
+            static_cast<std::uint64_t>(hi.strataIdx) * n
+            * strata_counter_bits;
+        for (ProcId q = 0; q < n; ++q)
+            p.info.csBitsEnd.push_back(scratch_cs[q].sizeBits());
+        if (ckpt) {
+            p.info.hasCheckpoint = true;
+            p.info.checkpoint = *ckpt;
+        }
+        staging.push_back(std::move(p));
+        last = hi;
+        ++staged;
+    }
+
+    /** Consume every not-yet-streamed checkpoint of @p rec. */
+    void
+    feed(const Recording &rec)
+    {
+        ensureInit(rec);
+        while (fed < rec.checkpoints.size()) {
+            const SystemCheckpoint &ckpt = rec.checkpoints[fed];
+            if (fed > 0 && ckpt.gcc <= last_gcc)
+                throw RecordingFormatError(
+                    "checkpoints are not in ascending GCC order");
+            Boundary hi = boundaryAtCheckpoint(rec, ckpt, fed);
+            stage(rec, hi, &ckpt);
+            last_gcc = ckpt.gcc;
+            ++fed;
+        }
+    }
+};
+
+StreamingArchiveWriter::StreamingArchiveWriter(
+    std::ostream &out, const ArchiveIoOptions &io)
+    : impl_(std::make_unique<Impl>(out, io))
+{
+}
+
+StreamingArchiveWriter::~StreamingArchiveWriter() = default;
+
+void
+StreamingArchiveWriter::onCheckpoint(const Recording &rec)
+{
+    if (impl_->is_closed)
+        throw std::logic_error(
+            "StreamingArchiveWriter used after close");
+    impl_->feed(rec);
+    impl_->pump();
+}
+
+void
+StreamingArchiveWriter::close(const Recording &rec)
+{
+    Impl &im = *impl_;
+    if (im.is_closed)
+        throw std::logic_error(
+            "StreamingArchiveWriter::close called twice");
+    im.feed(rec);
+    im.stage(rec, boundaryAtEnd(rec), nullptr); // tail segment
+    im.drain();
+
+    const std::string footer_raw = buildFooterRaw(rec, im.segments);
+    const std::vector<std::uint8_t> footer_comp =
+        compressPayload(footer_raw);
+    const std::uint64_t footer_offset = im.offset;
+    im.putBytes(footer_comp.data(), footer_comp.size());
+    im.putU64(footer_offset);
+    im.putU64(footer_comp.size());
+    im.putU64(footer_raw.size());
+    im.putU64(crc32(footer_comp.data(), footer_comp.size()));
+    im.putU64(kArchiveEndMagic);
+    if (!*im.out)
+        throw std::runtime_error("failed to write archive");
+    im.out->flush();
+    im.is_closed = true;
+}
+
+bool
+StreamingArchiveWriter::closed() const
+{
+    return impl_->is_closed;
+}
+
+std::size_t
+StreamingArchiveWriter::segmentCount() const
+{
+    return impl_->staged;
 }
 
 // ----- reader ---------------------------------------------------------------

@@ -170,6 +170,69 @@ class ArchiveWriter
     void putU64(std::uint64_t v);
 };
 
+/**
+ * Incremental archive writer: emits segments while the recording is
+ * still being produced, overlapping LZ77 compression and file I/O
+ * with the rest of the simulation.
+ *
+ * Wire onCheckpoint() into EngineOptions::onCheckpoint (or call it
+ * after record() on a finished recording — both feed paths produce
+ * the same bytes): each call consumes every not-yet-streamed
+ * checkpoint, cuts the covered segments, and *stages* them — the
+ * payload slice is serialized synchronously (the recording's logs
+ * keep growing after the hook returns), while compression, CRC and
+ * the file write happen on a background flusher thread that fans the
+ * codec work over the same WorkerPool path ArchiveWriter uses.
+ * Staging is double-buffered: while one batch compresses and writes,
+ * the next accumulates, and the recording thread never blocks on the
+ * codec. close() streams any remaining checkpoints, cuts the tail
+ * segment, drains the flusher, and writes the footer index and
+ * trailer.
+ *
+ * The emitted container is byte-identical to writeArchive() of the
+ * finished recording, at any ioThreads. Checkpoints must arrive in
+ * ascending GCC order (the recorder emits them that way); violations
+ * throw the same RecordingFormatError as the batch writer. A flusher
+ * failure is rethrown from the next onCheckpoint()/close() call.
+ */
+class StreamingArchiveWriter
+{
+  public:
+    explicit StreamingArchiveWriter(std::ostream &out,
+                                    const ArchiveIoOptions &io = {});
+    ~StreamingArchiveWriter();
+
+    StreamingArchiveWriter(const StreamingArchiveWriter &) = delete;
+    StreamingArchiveWriter &
+    operator=(const StreamingArchiveWriter &) = delete;
+
+    /**
+     * Stream every checkpoint of @p rec not yet consumed (usually
+     * exactly one when wired into EngineOptions::onCheckpoint).
+     * Segment payloads are cut synchronously; codec + I/O proceed in
+     * the background.
+     */
+    void onCheckpoint(const Recording &rec);
+
+    /**
+     * Finish the archive: stream any remaining checkpoints, cut the
+     * tail segment, drain all pending codec/write work, and emit the
+     * footer index and trailer. Call once, with the finished
+     * recording.
+     */
+    void close(const Recording &rec);
+
+    /** True after a successful close(). */
+    bool closed() const;
+
+    /** Segments emitted so far (all staged + flushed ones). */
+    std::size_t segmentCount() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /** Archive @p rec to @p out. */
 void writeArchive(const Recording &rec, std::ostream &out,
                   const ArchiveIoOptions &io = {});

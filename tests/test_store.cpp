@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/delorean.hpp"
@@ -341,6 +342,109 @@ TEST(Store, FileReadsIdenticalAcrossMmapAndIoThreads)
         EXPECT_EQ(view, savedBytes(in_memory.readInterval(i))) << i;
     }
     std::remove(path.c_str());
+}
+
+TEST(Store, StreamingWriterByteIdenticalAllModes)
+{
+    // The incremental writer — fed one checkpoint at a time from the
+    // record loop, or the whole recording at close() — must emit
+    // exactly the batch writer's bytes, at any codec worker count.
+    for (const auto &[mode_name, mode] : allModes()) {
+        for (const unsigned threads : {1u, 4u}) {
+            Workload w("radix", 4, 9, WorkloadScale::tiny());
+            Recorder recorder(mode, machine());
+
+            std::ostringstream streamed(std::ios::binary);
+            StreamingArchiveWriter writer(streamed,
+                                          ArchiveIoOptions{threads,
+                                                           true});
+            const Recording rec = recorder.record(
+                w, 1, true, {}, 20,
+                [&writer](const Recording &r) {
+                    writer.onCheckpoint(r);
+                });
+            writer.close(rec);
+            EXPECT_TRUE(writer.closed());
+            ASSERT_FALSE(rec.checkpoints.empty()) << mode_name;
+            EXPECT_EQ(writer.segmentCount(),
+                      rec.checkpoints.size() + 1)
+                << mode_name;
+
+            std::ostringstream batch(std::ios::binary);
+            writeArchive(rec, batch);
+            const std::string expect = std::move(batch).str();
+            EXPECT_EQ(std::move(streamed).str(), expect)
+                << mode_name << " hook-fed ioThreads=" << threads;
+
+            // Batch-fed: no hook, every segment cut at close().
+            std::ostringstream fed(std::ios::binary);
+            StreamingArchiveWriter tail(fed,
+                                        ArchiveIoOptions{threads,
+                                                         true});
+            tail.close(rec);
+            EXPECT_EQ(std::move(fed).str(), expect)
+                << mode_name << " batch-fed ioThreads=" << threads;
+        }
+    }
+}
+
+TEST(Store, StreamingFileReadbackAcrossDatapaths)
+{
+    // A streamed file must be indistinguishable from a batch-written
+    // one to every reader datapath: mmap and buffered, serial and
+    // parallel decode.
+    Workload w("ocean", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderAndSize(), machine());
+    const std::string path = testing::TempDir() + "store_streamed.dla";
+
+    std::string expect;
+    {
+        std::ofstream file(path, std::ios::binary);
+        StreamingArchiveWriter writer(file);
+        const Recording rec = recorder.record(
+            w, 1, true, {}, 20,
+            [&writer](const Recording &r) { writer.onCheckpoint(r); });
+        writer.close(rec);
+        expect = savedBytes(rec);
+    }
+    EXPECT_TRUE(ArchiveReader::fileLooksLikeArchive(path));
+
+    for (const bool mmap_reads : {true, false}) {
+        for (const unsigned threads : {1u, 4u}) {
+            const ArchiveReader reader = ArchiveReader::fromFile(
+                path, ArchiveIoOptions{threads, mmap_reads});
+            EXPECT_EQ(savedBytes(reader.readAll()), expect)
+                << "mmap=" << mmap_reads << " threads=" << threads;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Store, StreamingWriterRejectsOutOfOrderCheckpoints)
+{
+    Workload w("fft", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    Recording rec = recorder.record(w, 1, true, {}, 15);
+    ASSERT_GE(rec.checkpoints.size(), 2u);
+    std::swap(rec.checkpoints.front(), rec.checkpoints.back());
+
+    std::ostringstream out(std::ios::binary);
+    StreamingArchiveWriter writer(out);
+    EXPECT_THROW(writer.onCheckpoint(rec), RecordingFormatError);
+}
+
+TEST(Store, StreamingWriterUseAfterCloseThrows)
+{
+    Workload w("lu", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::picoLog(), machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 25);
+
+    std::ostringstream out(std::ios::binary);
+    StreamingArchiveWriter writer(out);
+    writer.close(rec);
+    EXPECT_TRUE(writer.closed());
+    EXPECT_THROW(writer.onCheckpoint(rec), std::logic_error);
+    EXPECT_THROW(writer.close(rec), std::logic_error);
 }
 
 TEST(Store, ArchiveMagicSniffRejectsRecording)
