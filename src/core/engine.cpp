@@ -111,6 +111,9 @@ ChunkEngine::record()
     rec.mode = mode_;
     rec.appName = workload_.name();
     rec.workloadSeed = workload_.seed();
+    // Stamped up front, not post-hoc: streaming consumers (the ring
+    // writer's one-time meta) see the in-flight recording mid-run.
+    rec.iterationsPercent = workload_.iterationsPercent();
     rec.pi = PiLog(n_);
     rec.cs.assign(n_, CsLog(mode_));
     rec.interrupts = InterruptLog(n_);

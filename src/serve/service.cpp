@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <istream>
 #include <map>
 #include <mutex>
@@ -334,6 +336,15 @@ ServeReport::ledgerJson(bool include_throughput) const
                + std::to_string(r.archiveBytes);
         out += ", \"archive_segments\": "
                + std::to_string(r.archiveSegments);
+        // Ring counters are deterministic (eviction depends only on
+        // segment sizes and the budget), so they belong in the
+        // worker-count-invariant ledger.
+        out += ", \"ring\": ";
+        out += r.ringPath.empty() ? "false" : "true";
+        out += ", \"ring_bytes\": " + std::to_string(r.ringBytes);
+        out += ", \"ring_segments\": "
+               + std::to_string(r.ringSegments);
+        out += ", \"ring_evicted\": " + std::to_string(r.ringEvicted);
         out += "}";
     }
     out += "\n  ]";
@@ -371,9 +382,12 @@ ServeService::run(const std::vector<ServeJob> &jobs)
         opts_.maxInflight ? opts_.maxInflight : width;
 
     // Best-effort; the per-archive open reports a usable error when
-    // the directory is still missing.
+    // the directory is still missing. (Each ring writer creates its
+    // own per-recording directory under ringDir.)
     if (!opts_.archiveDir.empty())
         ::mkdir(opts_.archiveDir.c_str(), 0755);
+    if (!opts_.ringDir.empty())
+        ::mkdir(opts_.ringDir.c_str(), 0755);
 
     ServeReport report;
     report.sessions.resize(jobs.size());
@@ -389,8 +403,9 @@ ServeService::run(const std::vector<ServeJob> &jobs)
     /**
      * Resolve a session's recording through the cache; the first
      * session for a key records with the segment-period checkpoint
-     * cadence and (when an archive dir is set) streams the archive
-     * while the simulation runs.
+     * cadence and streams the enabled containers — the .dla archive
+     * and/or the always-on ring — while the simulation runs, both fed
+     * from the same engine checkpoint hook.
      */
     const auto ensure_recorded = [&](const RecordJob &rj,
                                      bool *fresh) -> const Recording & {
@@ -401,27 +416,63 @@ ServeService::run(const std::vector<ServeJob> &jobs)
                     rj.app, rj.machine.numProcs, rj.workloadSeed,
                     WorkloadScale{rj.scalePercent});
                 const Recorder recorder(rj.mode, rj.machine);
-                if (opts_.archiveDir.empty())
-                    return recorder.record(workload, rj.envSeed,
-                                           rj.logging, {},
-                                           opts_.checkpointPeriod);
-
                 const std::string key = recordJobKey(rj);
-                const std::string path =
-                    opts_.archiveDir + "/" + fnv1aHex(key) + ".dla";
-                const std::string tmp = path + ".tmp";
-                std::ofstream out(tmp, std::ios::binary);
-                if (!out)
-                    throw std::runtime_error("cannot open " + tmp
-                                             + " for write");
-                StreamingArchiveWriter writer(out, opts_.archiveIo);
+
+                std::string ring_path;
+                std::unique_ptr<RingArchiveWriter> ring;
+                if (!opts_.ringDir.empty()) {
+                    RingOptions ropts;
+                    ropts.budgetBytes = opts_.ringBudgetBytes;
+                    ropts.checkpointPeriod = opts_.checkpointPeriod;
+                    ropts.maxReplayLag = opts_.ringMaxReplayLag;
+                    ropts.io = opts_.archiveIo;
+                    ring_path = opts_.ringDir + "/" + fnv1aHex(key)
+                                + ".ring";
+                    ring = std::make_unique<RingArchiveWriter>(
+                        ring_path, ropts);
+                }
+
+                std::string path, tmp;
+                std::ofstream out;
+                std::unique_ptr<StreamingArchiveWriter> writer;
+                if (!opts_.archiveDir.empty()) {
+                    path = opts_.archiveDir + "/" + fnv1aHex(key)
+                           + ".dla";
+                    tmp = path + ".tmp";
+                    out.open(tmp, std::ios::binary);
+                    if (!out)
+                        throw std::runtime_error("cannot open " + tmp
+                                                 + " for write");
+                    writer = std::make_unique<StreamingArchiveWriter>(
+                        out, opts_.archiveIo);
+                }
+
+                std::function<void(const Recording &)> hook;
+                if (writer || ring)
+                    hook = [&writer, &ring](const Recording &r) {
+                        if (writer)
+                            writer->onCheckpoint(r);
+                        if (ring)
+                            ring->onCheckpoint(r);
+                    };
                 Recording rec = recorder.record(
                     workload, rj.envSeed, rj.logging, {},
-                    opts_.checkpointPeriod,
-                    [&writer](const Recording &r) {
-                        writer.onCheckpoint(r);
-                    });
-                writer.close(rec);
+                    opts_.checkpointPeriod, std::move(hook));
+
+                if (ring) {
+                    ring->close(rec);
+                    const RingWriterStats rs = ring->stats();
+                    std::lock_guard<std::mutex> lock(info_mu);
+                    ServeRecordingInfo &info = infos[key];
+                    info.ringBytes = rs.liveBytes;
+                    info.ringSegments = rs.segmentsCut;
+                    info.ringEvicted = rs.segmentsEvicted;
+                    info.ringPath = ring_path;
+                }
+                if (!writer)
+                    return rec;
+
+                writer->close(rec);
                 const std::uint64_t bytes =
                     static_cast<std::uint64_t>(out.tellp());
                 out.close();
@@ -446,7 +497,7 @@ ServeService::run(const std::vector<ServeJob> &jobs)
                     std::lock_guard<std::mutex> lock(info_mu);
                     ServeRecordingInfo &info = infos[key];
                     info.archiveBytes = bytes;
-                    info.archiveSegments = writer.segmentCount();
+                    info.archiveSegments = writer->segmentCount();
                     info.archivePath = path;
                 }
                 return rec;

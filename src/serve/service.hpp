@@ -18,6 +18,13 @@
  *    engine's checkpoint hook, overlapping LZ77/CRC/file I/O with the
  *    rest of the simulation. The streamed bytes are byte-identical to
  *    writeArchiveFile() of the finished recording.
+ *  - **Always-on ring emission.** With a ring directory set, each
+ *    distinct recording also streams a rotating segmented ring
+ *    (store/ring) through the same checkpoint hook: a bounded-budget
+ *    sliding window that stays replayable — and crash-recoverable —
+ *    while the session is still recording. Ring counters (segments
+ *    cut, evicted, retained bytes) are deterministic and appear in
+ *    the ledger.
  *  - **Fair scheduling.** Sessions dispatch in round-robin order
  *    across the three session classes, FIFO within each class, so a
  *    burst of record jobs cannot starve queued validations.
@@ -39,6 +46,7 @@
 
 #include "sim/campaign.hpp"
 #include "store/archive.hpp"
+#include "store/ring.hpp"
 
 namespace delorean
 {
@@ -110,6 +118,20 @@ struct ServeOptions
     /// recordings made by the service.
     std::uint64_t checkpointPeriod = 50;
 
+    /// Directory for always-on ring archives (created if missing);
+    /// each distinct recording streams a rotating segmented ring into
+    /// <ringDir>/<id>.ring while the simulation runs. Empty disables
+    /// ring emission.
+    std::string ringDir;
+
+    /// Per-recording ring disk budget (RingOptions::budgetBytes).
+    std::uint64_t ringBudgetBytes = 4u << 20;
+
+    /// Ring replay-start lag bound in commits; 0 resolves to the
+    /// tightest feasible bound, 2 * checkpointPeriod
+    /// (RingOptions::maxReplayLag).
+    std::uint64_t ringMaxReplayLag = 0;
+
     /// Cross-check every streamed archive against the batch writer's
     /// bytes (writeArchive of the finished recording); a mismatch
     /// fails the recording session.
@@ -147,6 +169,10 @@ struct ServeRecordingInfo
     std::uint64_t archiveBytes = 0;   ///< 0 when not archived
     std::uint64_t archiveSegments = 0;
     std::string archivePath;          ///< empty when not archived
+    std::uint64_t ringBytes = 0;      ///< retained ring bytes
+    std::uint64_t ringSegments = 0;   ///< ring segments cut
+    std::uint64_t ringEvicted = 0;    ///< ring segments evicted
+    std::string ringPath;             ///< empty when no ring
     std::uint64_t sessions = 0;       ///< sessions resolving to this key
 };
 

@@ -16,6 +16,7 @@
 #include "core/serialize_detail.hpp"
 #include "core/stratifier.hpp"
 #include "sim/campaign.hpp"
+#include "store/archive_detail.hpp"
 #include "store/crc32.hpp"
 
 namespace delorean
@@ -45,20 +46,14 @@ constexpr std::size_t kSegmentHeaderBytes = 40;
 constexpr std::size_t kTrailerBytes = 40;
 constexpr std::uint64_t kMaxSegments = 1u << 20;
 
-/**
- * Per-segment boundary state: where every log cursor stands at the
- * end of a segment's GCC interval. Consecutive boundaries define the
- * half-open slice ranges a segment's payload holds.
- */
-struct Boundary
+} // namespace
+
+using namespace archive_detail;
+
+// ----- shared container internals (store/archive_detail.hpp) ----------------
+
+namespace archive_detail
 {
-    std::uint64_t gcc = 0;        ///< PI entries consumed (flat modes)
-    std::uint64_t chunkCommits = 0; ///< fingerprint commits consumed
-    std::size_t strataIdx = 0;
-    std::size_t dmaIdx = 0;
-    std::vector<ChunkSeq> committed;  ///< per-proc chunk seq frontier
-    std::vector<std::uint64_t> ioIdx; ///< per-proc I/O value frontier
-};
 
 Boundary
 boundaryAtCheckpoint(const Recording &rec, const SystemCheckpoint &ckpt,
@@ -219,6 +214,11 @@ buildSegmentPayload(const Recording &rec, const Boundary &lo,
     return std::move(out).str();
 }
 
+} // namespace archive_detail
+
+namespace
+{
+
 /**
  * Replay the recorder's variable-width log packing for the slice
  * between @p prev and @p cur onto the scratch logs, so the scratch
@@ -304,19 +304,10 @@ buildFooterRaw(const Recording &rec,
     return std::move(footer).str();
 }
 
-/** Decoded counterpart of buildSegmentPayload. */
-struct SegmentSlice
+} // namespace
+
+namespace archive_detail
 {
-    std::vector<ProcId> pi;
-    bool piHasMasks = false;
-    std::vector<std::uint64_t> piMasks;
-    std::vector<Stratum> strata;
-    std::vector<std::vector<CsEntry>> cs;
-    std::vector<std::vector<InterruptRecord>> interrupts;
-    std::vector<std::vector<std::uint64_t>> io;
-    std::vector<std::pair<DmaTransfer, std::uint64_t>> dma;
-    std::vector<CommitRecord> commits;
-};
 
 SegmentSlice
 parseSegmentPayload(const std::vector<std::uint8_t> &raw, unsigned n)
@@ -420,13 +411,6 @@ readU64At(const std::uint8_t *bytes, std::size_t offset)
     return v;
 }
 
-/**
- * Run @p tasks over a pool, collecting each task's exception (if any)
- * by index; the caller decides rethrow order. Task results land in
- * caller-owned index-keyed slots, so outcomes are independent of the
- * worker count — the parallel-codec analogue of the campaign runner's
- * determinism rule.
- */
 void
 runIndexed(WorkerPool &pool,
            std::vector<std::function<void()>> tasks,
@@ -447,7 +431,7 @@ runIndexed(WorkerPool &pool,
     pool.runBatch(wrapped);
 }
 
-} // namespace
+} // namespace archive_detail
 
 // ----- options --------------------------------------------------------------
 
@@ -477,6 +461,8 @@ archiveSectionName(ArchiveSection section)
         return "footer";
     case ArchiveSection::kTrailer:
         return "trailer";
+    case ArchiveSection::kCheckpointIndex:
+        return "checkpoint index";
     }
     return "unknown";
 }
@@ -503,6 +489,14 @@ ArchiveError::ArchiveError(ArchiveSection section, std::size_t segment,
                            const std::string &what)
     : RecordingFormatError(archiveErrorMessage(section, segment, what)),
       section_(section), segment_(segment)
+{
+}
+
+CheckpointOutOfRangeError::CheckpointOutOfRangeError(
+    std::size_t index, std::size_t available, const std::string &what)
+    : ArchiveError(ArchiveSection::kCheckpointIndex,
+                   ArchiveError::kNoSegment, what),
+      index_(index), available_(available)
 {
 }
 
@@ -1212,9 +1206,10 @@ const SystemCheckpoint &
 ArchiveReader::checkpointAt(std::size_t index) const
 {
     if (index >= checkpointCount())
-        throw std::out_of_range("archive checkpoint index "
-                                + std::to_string(index) + " of "
-                                + std::to_string(checkpointCount()));
+        throw CheckpointOutOfRangeError(
+            index, checkpointCount(),
+            "checkpoint " + std::to_string(index) + " of "
+                + std::to_string(checkpointCount()));
     return segments_[index].checkpoint;
 }
 
@@ -1259,10 +1254,9 @@ ArchiveReader::segmentPayload(std::size_t index) const
     return raw;
 }
 
-namespace
+namespace archive_detail
 {
 
-/** Decode + parse one segment, attributing parse errors to it. */
 SegmentSlice
 decodeSegment(const std::vector<std::uint8_t> &raw, unsigned num_procs,
               std::size_t index)
@@ -1276,7 +1270,6 @@ decodeSegment(const std::vector<std::uint8_t> &raw, unsigned num_procs,
     }
 }
 
-/** Shared recording scaffold for readAll/readInterval. */
 Recording
 skeletonRecording(const MachineConfig &machine, const ModeConfig &mode,
                   const std::string &app, std::uint64_t seed,
@@ -1295,14 +1288,6 @@ skeletonRecording(const MachineConfig &machine, const ModeConfig &mode,
     return rec;
 }
 
-/**
- * Append one decoded segment slice onto @p rec's logs.
- *
- * @param use_masks keep the slice's shard masks (readAll). readInterval
- *        passes false: its synthetic PI prefix is maskless, so the
- *        reconstructed interval degrades to a total-order PI log —
- *        interval replay is always total-order anyway.
- */
 void
 appendSlice(Recording &rec, const SegmentSlice &slice,
             std::vector<std::uint64_t> &io_base, std::size_t segment,
@@ -1362,7 +1347,54 @@ appendSlice(Recording &rec, const SegmentSlice &slice,
         rec.fingerprint.commits.push_back(c);
 }
 
-} // namespace
+void
+appendSyntheticPrefix(Recording &rec, const SystemCheckpoint &start)
+{
+    const unsigned n = rec.machine.numProcs;
+    std::uint64_t chunk0 = 0;
+    for (const ChunkSeq c : start.committedChunks)
+        chunk0 += c;
+    const std::size_t dma0 = start.dmaConsumed;
+
+    if (rec.stratified()) {
+        for (std::size_t i = 0; i < dma0; ++i) {
+            Stratum s;
+            s.isDma = true;
+            s.counts.assign(n, 0);
+            rec.strata.push_back(std::move(s));
+        }
+        std::vector<std::uint64_t> need(start.committedChunks.begin(),
+                                        start.committedChunks.end());
+        const std::uint64_t cap = std::max<std::uint64_t>(
+            1, rec.mode.stratifyChunksPerProc);
+        bool any = true;
+        while (any) {
+            any = false;
+            Stratum s;
+            s.counts.assign(n, 0);
+            for (unsigned p = 0; p < n; ++p) {
+                const std::uint64_t take =
+                    std::min<std::uint64_t>(need[p], cap);
+                s.counts[p] = static_cast<std::uint8_t>(take);
+                need[p] -= take;
+                any = any || take;
+            }
+            if (any)
+                rec.strata.push_back(std::move(s));
+        }
+    } else if (rec.mode.mode != ExecMode::kPicoLog) {
+        for (std::size_t i = 0; i < dma0; ++i)
+            rec.pi.append(kDmaProcId);
+        for (std::uint64_t i = 0; i < start.gcc - dma0; ++i)
+            rec.pi.append(0);
+    }
+    for (std::size_t i = 0; i < dma0; ++i)
+        rec.dma.append(DmaTransfer{}, 0);
+    rec.fingerprint.commits.assign(static_cast<std::size_t>(chunk0),
+                                   CommitRecord{});
+}
+
+} // namespace archive_detail
 
 Recording
 ArchiveReader::readAll() const
@@ -1418,65 +1450,28 @@ Recording
 ArchiveReader::readInterval(std::size_t from, std::size_t to) const
 {
     if (from >= checkpointCount())
-        throw std::out_of_range("archive checkpoint index "
-                                + std::to_string(from) + " of "
-                                + std::to_string(checkpointCount()));
+        throw CheckpointOutOfRangeError(
+            from, checkpointCount(),
+            "interval start checkpoint " + std::to_string(from)
+                + " of " + std::to_string(checkpointCount()));
     const std::size_t last_seg =
         to == kToEnd ? segments_.size() - 1 : to;
     if (to != kToEnd && (to <= from || to >= checkpointCount()))
-        throw std::out_of_range(
-            "archive interval [" + std::to_string(from) + ", "
-            + std::to_string(to) + ") is not a valid checkpoint pair");
+        throw CheckpointOutOfRangeError(
+            to, checkpointCount(),
+            "interval [" + std::to_string(from) + ", "
+                + std::to_string(to)
+                + ") is not a valid checkpoint pair");
 
     Recording rec = skeletonRecording(machine_, mode_, app_name_,
                                       workload_seed_,
                                       iterations_percent_);
     const unsigned n = machine_.numProcs;
     const SystemCheckpoint &start = segments_[from].checkpoint;
-    std::uint64_t chunk0 = 0;
-    for (const ChunkSeq c : start.committedChunks)
-        chunk0 += c;
-    const std::size_t dma0 = start.dmaConsumed;
 
-    // ----- synthetic prefix: consumed by the replay skip logic ------
-    if (rec.stratified()) {
-        for (std::size_t i = 0; i < dma0; ++i) {
-            Stratum s;
-            s.isDma = true;
-            s.counts.assign(n, 0);
-            rec.strata.push_back(std::move(s));
-        }
-        std::vector<std::uint64_t> need(start.committedChunks.begin(),
-                                        start.committedChunks.end());
-        const std::uint64_t cap =
-            std::max<std::uint64_t>(1, mode_.stratifyChunksPerProc);
-        bool any = true;
-        while (any) {
-            any = false;
-            Stratum s;
-            s.counts.assign(n, 0);
-            for (unsigned p = 0; p < n; ++p) {
-                const std::uint64_t take =
-                    std::min<std::uint64_t>(need[p], cap);
-                s.counts[p] = static_cast<std::uint8_t>(take);
-                need[p] -= take;
-                any = any || take;
-            }
-            if (any)
-                rec.strata.push_back(std::move(s));
-        }
-    } else if (mode_.mode != ExecMode::kPicoLog) {
-        for (std::size_t i = 0; i < dma0; ++i)
-            rec.pi.append(kDmaProcId);
-        for (std::uint64_t i = 0; i < start.gcc - dma0; ++i)
-            rec.pi.append(0);
-    }
-    for (std::size_t i = 0; i < dma0; ++i)
-        rec.dma.append(DmaTransfer{}, 0);
-    rec.fingerprint.commits.assign(static_cast<std::size_t>(chunk0),
-                                   CommitRecord{});
-
-    // ----- real data: only the segments covering the interval -------
+    // Synthetic prefix (consumed by the replay skip logic), then only
+    // the segments covering the interval.
+    appendSyntheticPrefix(rec, start);
     std::vector<std::uint64_t> io_base;
     for (const ThreadContext &ctx : start.contexts)
         io_base.push_back(ctx.ioLoadCount);

@@ -88,6 +88,9 @@ enum class ArchiveSection
     kSegment,
     kFooter,
     kTrailer,
+    /// Not a byte region: an interval request named a checkpoint the
+    /// container does not hold (see CheckpointOutOfRangeError).
+    kCheckpointIndex,
 };
 
 const char *archiveSectionName(ArchiveSection section);
@@ -115,6 +118,31 @@ class ArchiveError : public RecordingFormatError
   private:
     ArchiveSection section_;
     std::size_t segment_;
+};
+
+/**
+ * An interval request named a checkpoint outside what the container
+ * holds — an index past the checkpoint count, an invalid (from, to)
+ * pair, or (for ring archives) a cycle older than the retained
+ * window. Distinct from corruption: the container is fine, the data
+ * is simply not (or no longer) there, and callers can recover by
+ * re-ranging the request against available().
+ */
+class CheckpointOutOfRangeError : public ArchiveError
+{
+  public:
+    CheckpointOutOfRangeError(std::size_t index, std::size_t available,
+                              const std::string &what);
+
+    /** The checkpoint index (or count proxy) the request named. */
+    std::size_t index() const { return index_; }
+
+    /** Checkpoints the container actually holds. */
+    std::size_t available() const { return available_; }
+
+  private:
+    std::size_t index_;
+    std::size_t available_;
 };
 
 /** Footer index entry: everything known about one segment. */

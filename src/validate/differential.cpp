@@ -1,12 +1,18 @@
 #include "validate/differential.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <filesystem>
 #include <functional>
 #include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
 
 #include "core/recorder.hpp"
 #include "core/serialize.hpp"
 #include "store/archive.hpp"
+#include "store/ring.hpp"
 #include "trace/app_profile.hpp"
 #include "trace/workload.hpp"
 #include "validate/replay_check.hpp"
@@ -163,6 +169,116 @@ runOne(const DifferentialJob &job, const std::string &label,
                     break;
                 }
             }
+
+            // Ring legs. First a full-budget ring: nothing evicted,
+            // so readAll() must be byte-identical to the recording
+            // and every per-checkpoint view byte-identical to the
+            // batch archive's view of the same interval (the two
+            // containers share their slice builders; this pins it).
+            // mkdtemp, not a name derived from the job: concurrent
+            // checkers (ctest runs several binaries at once) may run
+            // the identical job and must not share a scratch dir.
+            namespace fs = std::filesystem;
+            std::string tmpl =
+                (fs::temp_directory_path() / "delorean-diff-ring-")
+                    .string()
+                + "XXXXXX";
+            if (!mkdtemp(tmpl.data()))
+                throw std::runtime_error(
+                    "cannot create ring scratch dir " + tmpl);
+            const fs::path ring_dir = tmpl;
+            struct ScratchDir
+            {
+                fs::path p;
+                ~ScratchDir()
+                {
+                    std::error_code ec;
+                    fs::remove_all(p, ec);
+                }
+            } scratch{ring_dir};
+            RingOptions ropts;
+            ropts.budgetBytes = ~std::uint64_t{0} >> 1;
+            ropts.checkpointPeriod = job.checkpointPeriod;
+            const RingWriterStats full_stats =
+                writeRing(rec, ring_dir.string(), ropts);
+            const RingArchiveReader ring =
+                RingArchiveReader::open(ring_dir.string());
+
+            std::ostringstream whole;
+            saveRecording(ring.readAll(), whole);
+            run.ringRoundTripIdentical =
+                std::move(whole).str() == first.str()
+                && ring.checkpointCount() == reader.checkpointCount();
+            run.ringIntervalsOk = run.ringRoundTripIdentical;
+            for (std::size_t i = 0;
+                 run.ringRoundTripIdentical
+                 && i < ring.checkpointCount();
+                 ++i) {
+                std::ostringstream rview, aview;
+                saveRecording(ring.readInterval(i), rview);
+                saveRecording(reader.readInterval(i), aview);
+                if (std::move(rview).str() != std::move(aview).str())
+                    run.ringRoundTripIdentical = false;
+            }
+            if (run.ringIntervalsOk && ring.checkpointCount() > 1) {
+                // One bounded replay straight off the ring; the
+                // byte-identity above transfers the archive's
+                // per-checkpoint replay coverage to the rest.
+                const std::size_t mid =
+                    (ring.checkpointCount() - 1) / 2;
+                const Recording view = ring.readInterval(mid, mid + 1);
+                const ReplayOutcome out = replayer.replayInterval(
+                    view, 0, replay_workload, job.replayEnvSeed + mid,
+                    perturb, &view.checkpoints[1]);
+                run.ringIntervalsOk = run.stratified
+                                          ? out.deterministicPerProc
+                                          : out.deterministicExact;
+            }
+
+            // Then a tight-budget ring sized to roughly three
+            // segments: eviction is actually exercised (whenever the
+            // run cut more than three), and the retained window's
+            // views must still byte-match the archive's over the same
+            // GCC intervals.
+            fs::remove_all(ring_dir);
+            RingOptions topts = ropts;
+            topts.budgetBytes = std::max<std::uint64_t>(
+                1, 3 * (full_stats.liveBytes
+                        / std::max<std::uint64_t>(
+                            1, full_stats.segmentsCut)));
+            const RingWriterStats tight_stats =
+                writeRing(rec, ring_dir.string(), topts);
+            run.ringEvicted = tight_stats.segmentsEvicted;
+            const RingArchiveReader tight =
+                RingArchiveReader::open(ring_dir.string());
+            const std::vector<std::uint64_t> all_gccs =
+                reader.checkpointGccs();
+            const std::vector<std::uint64_t> kept_gccs =
+                tight.checkpointGccs();
+            const auto base = std::search(
+                all_gccs.begin(), all_gccs.end(), kept_gccs.begin(),
+                kept_gccs.end());
+            // A run short enough to cut zero checkpoints has nothing
+            // to window-match (both sides empty, search() == end());
+            // a ring that kept none while the archive has some is a
+            // real failure.
+            run.ringEvictedWindowOk =
+                (kept_gccs.empty() ? all_gccs.empty()
+                                   : base != all_gccs.end())
+                && tight_stats.worstStartLag <= topts.resolvedLag();
+            const std::size_t off = static_cast<std::size_t>(
+                base - all_gccs.begin());
+            for (std::size_t i = 0;
+                 run.ringEvictedWindowOk
+                 && i + 1 < tight.checkpointCount();
+                 ++i) {
+                std::ostringstream rview, aview;
+                saveRecording(tight.readInterval(i, i + 1), rview);
+                saveRecording(reader.readInterval(off + i, off + i + 1),
+                              aview);
+                if (std::move(rview).str() != std::move(aview).str())
+                    run.ringEvictedWindowOk = false;
+            }
         }
     } catch (const std::exception &e) {
         run.error = e.what();
@@ -297,7 +413,13 @@ DifferentialResult::describe() const
                             && r.archiveParallelWriteIdentical
                         ? "ok"
                         : "DIVERGED")
-                << "(" << r.archiveCheckpoints << " ckpts)";
+                << "(" << r.archiveCheckpoints << " ckpts)"
+                << " ring="
+                << (r.ringRoundTripIdentical && r.ringIntervalsOk
+                            && r.ringEvictedWindowOk
+                        ? "ok"
+                        : "DIVERGED")
+                << "(" << r.ringEvicted << " evicted)";
         out << (r.roundTripIdentical ? "" : " round-trip=NOT-IDENTICAL");
         if (!r.replayOk)
             out << "\n    " << r.report.describe();
@@ -386,6 +508,15 @@ DifferentialChecker::check(const DifferentialJob &job) const
             if (!r.archiveParallelWriteIdentical)
                 fail(r.label + ": parallel-codec archive bytes differ "
                      "from the serially written container");
+            if (!r.ringRoundTripIdentical)
+                fail(r.label + ": ring views not byte-identical to "
+                     "the batch archive's");
+            if (!r.ringIntervalsOk)
+                fail(r.label + ": bounded interval replay off the "
+                     "ring diverged from the recording");
+            if (!r.ringEvictedWindowOk)
+                fail(r.label + ": evicting ring's retained window "
+                     "disagrees with the batch archive");
         }
     }
     if (!result.failures.empty())

@@ -82,7 +82,10 @@ struct DifferentialJob
     /// Take a system checkpoint every this many global commits during
     /// the record run, then archive the recording (src/store) and
     /// replay the interval from every checkpoint straight off the
-    /// archive. 0 disables the archive legs.
+    /// archive. Also drives the ring legs: a full-budget and a
+    /// tight-budget (evicting) ring archive whose interval views must
+    /// byte-match the batch archive's. 0 disables both container leg
+    /// families.
     std::uint64_t checkpointPeriod = 40;
     /// Arbiter shard count (MachineConfig::bulk.numArbiters). Above 1
     /// the flat-PI runs record shard masks (format v2 partial order)
@@ -132,6 +135,21 @@ struct DifferentialRun
     bool archiveParallelWriteIdentical = false;
     /// Checkpoints the record run took (archive segments minus one).
     std::size_t archiveCheckpoints = 0;
+    /// Ring legs (job.checkpointPeriod != 0): a full-budget ring of
+    /// the recording reads back whole byte-identically AND every
+    /// per-checkpoint interval view off the ring is byte-identical to
+    /// the batch archive's view of the same interval.
+    bool ringRoundTripIdentical = false;
+    /// A bounded interval replay straight off the ring reproduced the
+    /// recording (per-processor comparison for stratified logs).
+    bool ringIntervalsOk = false;
+    /// A tight-budget ring (eviction exercised) still serves interval
+    /// views byte-identical to the archive's over the GCC window it
+    /// retained, and its worst replay-start lag stayed within the
+    /// configured bound.
+    bool ringEvictedWindowOk = false;
+    /// Segments the tight-budget ring evicted.
+    std::uint64_t ringEvicted = 0;
     /// True when the recording carries PI shard masks (job.shards > 1
     /// and a flat-PI mode), enabling the total-order legs below.
     bool partialOrder = false;

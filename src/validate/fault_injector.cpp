@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -816,6 +818,336 @@ runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                 opts, load_path));
         }
     }
+    return summary;
+}
+
+// ----- ring-level fault injection -------------------------------------------
+
+const char *
+ringMutationKindName(RingMutationKind kind)
+{
+    switch (kind) {
+      case RingMutationKind::kEvictedGap:
+        return "evicted-gap";
+      case RingMutationKind::kTornTail:
+        return "torn-tail";
+      case RingMutationKind::kStaleIndex:
+        return "stale-index";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Segment files of @p dir, name-sorted (== segId-sorted). */
+std::vector<fs::path>
+ringSegmentFiles(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().filename().string().rfind("seg-", 0) == 0)
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/**
+ * Rewrite ring.index with a *valid* CRC over falsified contents: flip
+ * the clean flag or perturb one live-set entry, then recompute the
+ * checksum. The reader's scan cross-check — not the CRC — must catch
+ * the lie.
+ */
+void
+writeLyingIndex(const std::string &path, Xoshiro256ss &rng)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    constexpr std::size_t kPreamble = 40;
+    if (bytes.size() < kPreamble + 16)
+        return; // too short to lie about; leave as-is
+    std::uint8_t *blob = bytes.data() + kPreamble;
+    const std::size_t blob_size = bytes.size() - kPreamble;
+
+    auto u64_at = [&](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(blob[off + i]) << (8 * i);
+        return v;
+    };
+    auto put_at = [&](std::size_t off, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            blob[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+
+    const std::uint64_t count = u64_at(8);
+    const std::size_t entries_end = 16 + 16 * count;
+    bool lied = false;
+    if (count > 0 && entries_end <= blob_size && rng.next() % 2 == 0) {
+        // Falsify one retained entry: wrong size or wrong id.
+        const std::size_t victim = rng.next() % count;
+        const std::size_t off =
+            16 + 16 * victim + (rng.next() % 2 ? 8 : 0);
+        put_at(off, u64_at(off) + 1 + rng.next() % 1024);
+        lied = true;
+    }
+    if (!lied)
+        put_at(0, u64_at(0) ^ 1); // flip the clean flag
+    // Recompute the preamble CRC so the checksum passes.
+    std::uint64_t c = crc32(blob, blob_size);
+    for (int i = 0; i < 8; ++i)
+        bytes[32 + i] = static_cast<std::uint8_t>(c >> (8 * i));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+void
+mutateRing(const std::string &dir, RingMutationKind kind,
+           std::uint64_t seed)
+{
+    Xoshiro256ss rng(seed ^ 0x51BAD5EEDull);
+    const std::vector<fs::path> segs = ringSegmentFiles(dir);
+    switch (kind) {
+      case RingMutationKind::kEvictedGap: {
+        if (segs.empty())
+            return;
+        // Never the newest: model history rotting out from under the
+        // window, not a tail crash (that is kTornTail's job).
+        const std::size_t victims =
+            segs.size() > 1 ? segs.size() - 1 : 1;
+        fs::remove(segs[rng.next() % victims]);
+        break;
+      }
+      case RingMutationKind::kTornTail: {
+        if (segs.empty())
+            return;
+        const fs::path &tail = segs.back();
+        const std::uintmax_t size = fs::file_size(tail);
+        fs::resize_file(tail, size ? rng.next() % size : 0);
+        break;
+      }
+      case RingMutationKind::kStaleIndex: {
+        const std::string index = dir + "/ring.index";
+        switch (rng.next() % 3) {
+          case 0:
+            fs::remove(index);
+            break;
+          case 1: {
+            // Scribble: CRC (or structure) check must reject it.
+            std::fstream f(index, std::ios::binary | std::ios::in
+                                      | std::ios::out);
+            if (!f)
+                break;
+            f.seekg(0, std::ios::end);
+            const std::uint64_t size =
+                static_cast<std::uint64_t>(f.tellg());
+            const unsigned flips = 1 + rng.next() % 8;
+            for (unsigned i = 0; i < flips && size; ++i) {
+                const std::uint64_t off = rng.next() % size;
+                f.seekg(static_cast<std::streamoff>(off));
+                char byte = 0;
+                f.read(&byte, 1);
+                byte ^= static_cast<char>(1u << (rng.next() % 8));
+                f.seekp(static_cast<std::streamoff>(off));
+                f.write(&byte, 1);
+            }
+            break;
+          }
+          default:
+            writeLyingIndex(index, rng);
+            break;
+        }
+        break;
+      }
+    }
+}
+
+void
+RingFaultSweepSummary::add(const RingMutantResult &r)
+{
+    ++total;
+    if (r.salvaged)
+        ++salvaged;
+    switch (r.outcome) {
+      case MutantOutcome::kRejectedAtLoad:
+        ++rejectedAtLoad;
+        break;
+      case MutantOutcome::kReplayedIdentically:
+        ++replayedIdentically;
+        break;
+      case MutantOutcome::kDivergenceDetected:
+        ++divergenceDetected;
+        break;
+      case MutantOutcome::kReplayErrorReported:
+        ++replayErrorReported;
+        break;
+      case MutantOutcome::kUnexpected:
+        ++unexpected;
+        unexpectedResults.push_back(r);
+        break;
+    }
+}
+
+std::string
+RingFaultSweepSummary::describe() const
+{
+    std::ostringstream out;
+    out << "ring fault sweep: " << total << " mutants | rejected "
+        << rejectedAtLoad << " | identical " << replayedIdentically
+        << " | divergence " << divergenceDetected << " | replay-error "
+        << replayErrorReported << " | salvaged " << salvaged
+        << " | UNEXPECTED " << unexpected;
+    for (const RingMutantResult &r : unexpectedResults)
+        out << "\n  " << ringMutationKindName(r.kind) << " seed "
+            << r.seed << ": " << r.message;
+    return out.str();
+}
+
+RingMutantResult
+runRingMutant(const std::string &ring_dir, RingMutationKind kind,
+              std::uint64_t seed, const ReplayCheckOptions &opts)
+{
+    RingMutantResult result;
+    result.kind = kind;
+    result.seed = seed;
+
+    // Scratch copy, deterministic name per (kind, seed).
+    const fs::path scratch =
+        fs::temp_directory_path()
+        / ("delorean-ring-mutant-"
+           + std::to_string(static_cast<unsigned>(kind)) + "-"
+           + std::to_string(seed));
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    try {
+        fs::copy(ring_dir, scratch, fs::copy_options::recursive);
+        mutateRing(scratch.string(), kind, seed);
+    } catch (const std::exception &e) {
+        fs::remove_all(scratch, ec);
+        result.message =
+            std::string("mutation setup failed: ") + e.what();
+        return result;
+    }
+
+    std::optional<RingArchiveReader> ring;
+    try {
+        ring = RingArchiveReader::open(scratch.string());
+    } catch (const ArchiveError &e) {
+        result.outcome = MutantOutcome::kRejectedAtLoad;
+        result.message = e.what();
+        fs::remove_all(scratch, ec);
+        return result;
+    } catch (const std::exception &e) {
+        result.outcome = MutantOutcome::kUnexpected;
+        result.message =
+            std::string("ring open threw non-archive error: ")
+            + e.what();
+        fs::remove_all(scratch, ec);
+        return result;
+    }
+
+    result.salvaged = !ring->recovery().usedIndex
+                      || ring->recovery().droppedSegments > 0;
+    result.droppedSegments = ring->recovery().droppedSegments;
+
+    // Replay whatever window recovery retained. A window too small to
+    // bound (fewer than two checkpoints, e.g. a lone tail survivor)
+    // has nothing to verify: the salvage itself is the result.
+    result.outcome = MutantOutcome::kReplayedIdentically;
+    const std::size_t checkpoints = ring->checkpointCount();
+    if (checkpoints >= 2) {
+        const std::size_t from = seed % (checkpoints - 1);
+        try {
+            const Recording view =
+                ring->readInterval(from, from + 1);
+            ReplayCheckOptions iopts = opts;
+            iopts.startCheckpoint = 0;
+            iopts.stopCheckpoint = 1;
+            iopts.detectRaces = false;
+            result.outcome =
+                classifyRecording(view, iopts, result.message);
+        } catch (const ArchiveError &e) {
+            result.outcome = MutantOutcome::kRejectedAtLoad;
+            result.message = e.what();
+        } catch (const RecordingFormatError &e) {
+            result.outcome = MutantOutcome::kRejectedAtLoad;
+            result.message = e.what();
+        } catch (const std::exception &e) {
+            result.outcome = MutantOutcome::kUnexpected;
+            result.message = std::string(
+                                 "ring readInterval threw non-format "
+                                 "error: ")
+                             + e.what();
+        }
+    }
+
+    // Unbounded leg: only meaningful when the mutant still claims a
+    // clean close (a lying index may); it must either replay or fail
+    // typed.
+    if (result.outcome != MutantOutcome::kUnexpected
+        && ring->recovery().clean && checkpoints >= 1) {
+        MutantOutcome tail = MutantOutcome::kReplayedIdentically;
+        std::string tail_message;
+        try {
+            const Recording view =
+                ring->readInterval(checkpoints - 1);
+            ReplayCheckOptions iopts = opts;
+            iopts.startCheckpoint = 0;
+            iopts.detectRaces = false;
+            tail = classifyRecording(view, iopts, tail_message);
+        } catch (const ArchiveError &e) {
+            tail = MutantOutcome::kRejectedAtLoad;
+            tail_message = e.what();
+        } catch (const RecordingFormatError &e) {
+            tail = MutantOutcome::kRejectedAtLoad;
+            tail_message = e.what();
+        } catch (const std::exception &e) {
+            tail = MutantOutcome::kUnexpected;
+            tail_message =
+                std::string("ring unbounded read threw non-format "
+                            "error: ")
+                + e.what();
+        }
+        if (outcomeSeverity(tail) > outcomeSeverity(result.outcome)) {
+            result.outcome = tail;
+            result.message = tail_message;
+        }
+    }
+
+    fs::remove_all(scratch, ec);
+    return result;
+}
+
+RingFaultSweepSummary
+runRingFaultSweep(const Recording &rec, unsigned mutants_per_kind,
+                  std::uint64_t seed0, const ReplayCheckOptions &opts,
+                  const RingOptions &ring_opts)
+{
+    const fs::path source =
+        fs::temp_directory_path()
+        / ("delorean-ring-sweep-" + std::to_string(seed0));
+    std::error_code ec;
+    fs::remove_all(source, ec);
+    writeRing(rec, source.string(), ring_opts);
+
+    RingFaultSweepSummary summary;
+    for (unsigned k = 0; k < kRingMutationKinds; ++k) {
+        for (unsigned i = 0; i < mutants_per_kind; ++i) {
+            const std::uint64_t seed =
+                seed0 * 1'000'003ull + k * 104'729ull + i;
+            summary.add(runRingMutant(source.string(),
+                                      static_cast<RingMutationKind>(k),
+                                      seed, opts));
+        }
+    }
+    fs::remove_all(source, ec);
     return summary;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/recording.hpp"
+#include "store/ring.hpp"
 #include "validate/replay_check.hpp"
 
 namespace delorean
@@ -221,6 +222,92 @@ runArchiveFaultSweep(const Recording &rec, unsigned mutants_per_kind,
                      const ReplayCheckOptions &opts = {},
                      ArchiveLoadPath load_path =
                          ArchiveLoadPath::kBuffered);
+
+// ----- ring-level fault injection (src/store/ring directory container) ------
+
+/**
+ * Mutation classes applied to a ring *directory*. These model the
+ * crash-and-rot shapes an always-on recorder actually leaves behind:
+ * history holes from eviction racing a crash, a final segment torn
+ * mid-write, and an index file that survived but lies about the
+ * directory it describes.
+ */
+enum class RingMutationKind : std::uint8_t
+{
+    kEvictedGap, ///< delete one retained non-newest segment file
+    kTornTail,   ///< truncate the newest segment file at a random byte
+    kStaleIndex, ///< ring.index lies: deleted, bit-flipped, or
+                 ///< rewritten with a *valid* CRC over false contents
+};
+
+constexpr unsigned kRingMutationKinds = 3;
+
+/** Short printable name of a ring mutation kind. */
+const char *ringMutationKindName(RingMutationKind kind);
+
+/**
+ * Deterministically mutate ring directory @p dir in place
+ * (seed => same mutant). @p dir should be a scratch copy.
+ */
+void mutateRing(const std::string &dir, RingMutationKind kind,
+                std::uint64_t seed);
+
+/** One ring mutant's result. */
+struct RingMutantResult
+{
+    RingMutationKind kind = RingMutationKind::kEvictedGap;
+    std::uint64_t seed = 0;
+    MutantOutcome outcome = MutantOutcome::kUnexpected;
+    /// Recovery opened the ring but had to drop files or ignore the
+    /// index (RingRecoveryInfo was not a clean, index-certified open).
+    bool salvaged = false;
+    /// Segment files recovery dropped (from RingRecoveryInfo).
+    std::size_t droppedSegments = 0;
+    std::string message;
+};
+
+/** Aggregate of a ring fault sweep. */
+struct RingFaultSweepSummary
+{
+    std::uint64_t total = 0;
+    std::uint64_t rejectedAtLoad = 0;
+    std::uint64_t replayedIdentically = 0;
+    std::uint64_t divergenceDetected = 0;
+    std::uint64_t replayErrorReported = 0;
+    std::uint64_t unexpected = 0;
+    /// Mutants recovery salvaged (opened with drops or a dead index).
+    std::uint64_t salvaged = 0;
+    std::vector<RingMutantResult> unexpectedResults;
+
+    bool ok() const { return unexpected == 0; }
+    void add(const RingMutantResult &r);
+    std::string describe() const;
+};
+
+/**
+ * Run one ring mutant: copy @p ring_dir to a scratch directory,
+ * mutate it, then drive RingArchiveReader::open plus a bounded
+ * interval-replay leg over whatever window recovery retained (and an
+ * unbounded leg when the mutant still reads as cleanly closed). The
+ * acceptable outcomes mirror runArchiveMutant: a typed rejection, a
+ * successful salvage that replays identically, or a structured
+ * divergence. Crashes, hangs and untyped exceptions are kUnexpected.
+ */
+RingMutantResult runRingMutant(const std::string &ring_dir,
+                               RingMutationKind kind,
+                               std::uint64_t seed,
+                               const ReplayCheckOptions &opts = {});
+
+/**
+ * Sweep @p mutants_per_kind ring mutants of every kind over @p rec,
+ * recorded once into a scratch ring with @p ring_opts. Record @p rec
+ * with a checkpoint period so recovery has replay starting points.
+ */
+RingFaultSweepSummary
+runRingFaultSweep(const Recording &rec, unsigned mutants_per_kind,
+                  std::uint64_t seed0,
+                  const ReplayCheckOptions &opts = {},
+                  const RingOptions &ring_opts = {});
 
 } // namespace delorean
 

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -147,6 +148,90 @@ TEST(ArchiveFaultSweepDetector, DetectorLegNeverCrashesHangsOrLies)
 }
 
 INSTANTIATE_TEST_SUITE_P(Modes, ArchiveFaultSweep, testing::Range(0, 3));
+
+/**
+ * Ring-directory fault sweep: crash-and-rot shapes against the
+ * always-on container. 60 mutants x 3 kinds x 2 modes = 360 rings,
+ * each recovered by RingArchiveReader::open and replayed over the
+ * retained window — never a crash, a hang, or a silent wrong answer.
+ */
+class RingFaultSweep : public testing::TestWithParam<int>
+{
+  protected:
+    static std::pair<const char *, ModeConfig>
+    current()
+    {
+        if (GetParam() == 0)
+            return {"order-and-size", ModeConfig::orderAndSize()};
+        ModeConfig strat = ModeConfig::orderOnly();
+        strat.stratifyChunksPerProc = 4;
+        return {"order-only-strat", strat};
+    }
+};
+
+TEST_P(RingFaultSweep, MutantsNeverCrashHangOrLie)
+{
+    const auto [name, mode] = current();
+    const Recording rec = record(mode);
+    ASSERT_GE(rec.checkpoints.size(), 2u) << name;
+
+    const RingFaultSweepSummary sweep =
+        runRingFaultSweep(rec, kMutantsPerKind,
+                          /*seed0=*/kSeed + GetParam());
+    EXPECT_EQ(sweep.total, kMutantsPerKind * kRingMutationKinds);
+    EXPECT_TRUE(sweep.ok()) << name << ": " << sweep.describe();
+    // Both sides of the recovery contract must be exercised: typed
+    // rejections (a ring shredded beyond salvage) and successful
+    // salvages that replay the surviving window.
+    EXPECT_GT(sweep.salvaged, 0u) << name << ": " << sweep.describe();
+    EXPECT_GT(sweep.replayedIdentically, 0u)
+        << name << ": " << sweep.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RingFaultSweep, testing::Range(0, 2));
+
+TEST(RingFaults, EachMutationKindLandsInItsExpectedBucket)
+{
+    // Taxonomy: a deleted interior segment shrinks the window
+    // (salvage, never a crash); a torn tail drops exactly the torn
+    // file; a lying index is overruled by the directory scan, so an
+    // index-only fault can never reject a ring whose segments are
+    // intact.
+    const Recording rec = record(ModeConfig::orderOnly());
+    ASSERT_GE(rec.checkpoints.size(), 2u);
+    const std::string dir =
+        (std::filesystem::temp_directory_path()
+         / "delorean-ring-taxonomy")
+            .string();
+    std::filesystem::remove_all(dir);
+    writeRing(rec, dir, RingOptions{});
+
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const RingMutantResult gap = runRingMutant(
+            dir, RingMutationKind::kEvictedGap, seed);
+        ASSERT_NE(gap.outcome, MutantOutcome::kUnexpected)
+            << "gap seed " << seed << ": " << gap.message;
+        EXPECT_TRUE(gap.salvaged) << "gap seed " << seed;
+
+        const RingMutantResult torn = runRingMutant(
+            dir, RingMutationKind::kTornTail, seed);
+        ASSERT_NE(torn.outcome, MutantOutcome::kUnexpected)
+            << "torn seed " << seed << ": " << torn.message;
+        EXPECT_TRUE(torn.droppedSegments >= 1
+                    || torn.outcome == MutantOutcome::kRejectedAtLoad)
+            << "torn seed " << seed;
+
+        const RingMutantResult stale = runRingMutant(
+            dir, RingMutationKind::kStaleIndex, seed);
+        ASSERT_NE(stale.outcome, MutantOutcome::kUnexpected)
+            << "stale seed " << seed << ": " << stale.message;
+        EXPECT_NE(stale.outcome, MutantOutcome::kRejectedAtLoad)
+            << "stale seed " << seed
+            << ": intact segments must survive an index-only fault";
+        EXPECT_EQ(stale.droppedSegments, 0u) << "stale seed " << seed;
+    }
+    std::filesystem::remove_all(dir);
+}
 
 /**
  * Corruption taxonomy: every mutation class must produce its expected

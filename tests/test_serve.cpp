@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -215,6 +216,62 @@ TEST(Serve, SoakLedgerDeterministicAcrossWidths)
 
     removeArchives(serial, dir1);
     removeArchives(wide, dir4);
+}
+
+TEST(Serve, RingEmissionDeterministicAndRecoverable)
+{
+    // With a ring directory set, every distinct recording streams an
+    // always-on ring while it records. The ring counters land in the
+    // ledger and must be width-invariant, and every emitted ring must
+    // open cleanly and reassemble the full recording.
+    const std::vector<ServeJob> jobs = soakJobs();
+
+    const auto runAt = [&jobs](unsigned width,
+                               const std::string &dir) {
+        ServeOptions opts;
+        opts.jobs = width;
+        opts.ringDir = dir;
+        // Big enough that nothing is evicted: readAll() then checks
+        // the whole history survived the ring round trip.
+        opts.ringBudgetBytes = 256u << 20;
+        opts.checkpointPeriod = 25;
+        ServeService service(opts);
+        return service.run(jobs);
+    };
+    const std::string dir1 = testing::TempDir() + "serve_ring_j1";
+    const std::string dir4 = testing::TempDir() + "serve_ring_j4";
+    const ServeReport serial = runAt(1, dir1);
+    const ServeReport wide = runAt(4, dir4);
+
+    EXPECT_EQ(serial.okCount(), jobs.size());
+    EXPECT_EQ(wide.okCount(), jobs.size());
+    ASSERT_EQ(serial.recordings.size(), 2u);
+    ASSERT_EQ(wide.recordings.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const ServeRecordingInfo &s = serial.recordings[i];
+        const ServeRecordingInfo &w = wide.recordings[i];
+        ASSERT_FALSE(s.ringPath.empty());
+        EXPECT_GT(s.ringSegments, 0u);
+        EXPECT_GT(s.ringBytes, 0u);
+        EXPECT_EQ(s.ringBytes, w.ringBytes);
+        EXPECT_EQ(s.ringSegments, w.ringSegments);
+        EXPECT_EQ(s.ringEvicted, w.ringEvicted);
+
+        ASSERT_TRUE(RingArchiveReader::looksLikeRing(s.ringPath));
+        const RingArchiveReader ring =
+            RingArchiveReader::open(s.ringPath);
+        EXPECT_TRUE(ring.recovery().clean);
+        EXPECT_TRUE(ring.recovery().usedIndex);
+        const Recording rec = ring.readAll();
+        EXPECT_EQ(rec.appName, s.app);
+    }
+    EXPECT_EQ(serial.ledgerJson(), wide.ledgerJson());
+
+    for (const ServeReport *r : {&serial, &wide})
+        for (const ServeRecordingInfo &info : r->recordings)
+            std::filesystem::remove_all(info.ringPath);
+    ::rmdir(dir1.c_str());
+    ::rmdir(dir4.c_str());
 }
 
 TEST(Serve, AdmissionGateBoundsInflightSessions)

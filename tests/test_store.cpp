@@ -447,6 +447,93 @@ TEST(Store, StreamingWriterUseAfterCloseThrows)
     EXPECT_THROW(writer.close(rec), std::logic_error);
 }
 
+TEST(Store, CheckpointOutOfRangeIsTyped)
+{
+    // An interval request naming a checkpoint the container does not
+    // hold is an operator error, not container corruption: it must
+    // surface as the dedicated subtype carrying the requested index
+    // and what was actually available.
+    Workload w("fft", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 20);
+    ASSERT_GE(rec.checkpoints.size(), 2u);
+    const ArchiveReader reader =
+        ArchiveReader::fromBytes(archiveBytes(rec));
+    const std::size_t count = reader.checkpointCount();
+
+    try {
+        reader.checkpointAt(count);
+        FAIL() << "expected CheckpointOutOfRangeError";
+    } catch (const CheckpointOutOfRangeError &e) {
+        EXPECT_EQ(e.index(), count);
+        EXPECT_EQ(e.available(), count);
+        EXPECT_EQ(e.section(), ArchiveSection::kCheckpointIndex);
+    }
+    try {
+        reader.readInterval(count + 3);
+        FAIL() << "expected CheckpointOutOfRangeError";
+    } catch (const CheckpointOutOfRangeError &e) {
+        EXPECT_EQ(e.index(), count + 3);
+        EXPECT_EQ(e.available(), count);
+    }
+    // Inverted bounds are the same category.
+    EXPECT_THROW(reader.readInterval(1, 1),
+                 CheckpointOutOfRangeError);
+    // And the subtype still lands in generic ArchiveError handlers.
+    EXPECT_THROW(reader.checkpointAt(count), ArchiveError);
+}
+
+TEST(Store, StreamingWriterCloseDuringFlush)
+{
+    // close() must drain correctly while the background flusher is
+    // still mid-batch: stage a large first feed (kicking off a flush)
+    // and close immediately after, with no settling time.
+    Workload w("barnes", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderAndSize(), machine());
+    const Recording rec = recorder.record(w, 1, true, {}, 10);
+    ASSERT_GE(rec.checkpoints.size(), 4u);
+
+    std::ostringstream batch(std::ios::binary);
+    writeArchive(rec, batch);
+    const std::string expect = std::move(batch).str();
+
+    for (int round = 0; round < 3; ++round) {
+        std::ostringstream streamed(std::ios::binary);
+        StreamingArchiveWriter writer(streamed);
+        writer.onCheckpoint(rec); // stages every segment, flush starts
+        writer.close(rec);        // drains while the flusher runs
+        EXPECT_EQ(std::move(streamed).str(), expect)
+            << "round " << round;
+    }
+}
+
+TEST(Store, StreamingWriterZeroCheckpointRecording)
+{
+    // A recording with no checkpoints streams to a single tail
+    // segment and must still match the batch writer byte for byte.
+    Workload w("fft", 4, 9, WorkloadScale::tiny());
+    Recorder recorder(ModeConfig::orderOnly(), machine());
+    const Recording rec = recorder.record(w, 1);
+    ASSERT_TRUE(rec.checkpoints.empty());
+
+    std::ostringstream streamed(std::ios::binary);
+    StreamingArchiveWriter writer(streamed);
+    writer.onCheckpoint(rec); // no checkpoints: nothing to cut yet
+    writer.close(rec);
+    EXPECT_EQ(writer.segmentCount(), 1u);
+
+    std::ostringstream batch(std::ios::binary);
+    writeArchive(rec, batch);
+    const std::string bytes = std::move(streamed).str();
+    EXPECT_EQ(bytes, std::move(batch).str());
+
+    const ArchiveReader reader = ArchiveReader::fromBytes(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    EXPECT_EQ(reader.checkpointCount(), 0u);
+    EXPECT_EQ(savedBytes(reader.readAll()), savedBytes(rec));
+    EXPECT_THROW(reader.readInterval(0), CheckpointOutOfRangeError);
+}
+
 TEST(Store, ArchiveMagicSniffRejectsRecording)
 {
     Workload w("fft", 4, 9, WorkloadScale::tiny());

@@ -10,6 +10,7 @@
  *
  *   delorean_serve --archive-dir /tmp/dla --jobs 4 jobs.txt
  *   echo "record app=radix scale=20" | delorean_serve --verify
+ *   delorean_serve --ring-dir /tmp/rings --ring-budget 1048576 jobs.txt
  *
  * The stdout ledger is byte-identical at any --jobs; add
  * --throughput to append wall-clock figures (sessions/sec, archive
@@ -39,6 +40,12 @@ usage(const char *argv0)
         "sessions (default: pool width)\n"
         "  --archive-dir DIR     stream .dla archives into DIR "
         "(default: off)\n"
+        "  --ring-dir DIR        stream always-on ring archives into "
+        "DIR (default: off)\n"
+        "  --ring-budget BYTES   per-recording ring disk budget "
+        "(default: 4 MiB)\n"
+        "  --ring-lag N          ring replay-start lag bound in "
+        "commits (default: 2x period)\n"
         "  --checkpoint-period N checkpoint/segment period in global "
         "commits (default: 50)\n"
         "  --io-threads N        archive codec worker count "
@@ -101,6 +108,20 @@ main(int argc, char **argv)
             opts.maxInflight = n;
         } else if (std::strcmp(arg, "--archive-dir") == 0) {
             opts.archiveDir = value();
+        } else if (std::strcmp(arg, "--ring-dir") == 0) {
+            opts.ringDir = value();
+        } else if (std::strcmp(arg, "--ring-budget") == 0) {
+            char *end = nullptr;
+            const char *v = value();
+            opts.ringBudgetBytes = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || opts.ringBudgetBytes == 0)
+                return usage(argv[0]);
+        } else if (std::strcmp(arg, "--ring-lag") == 0) {
+            char *end = nullptr;
+            const char *v = value();
+            opts.ringMaxReplayLag = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0')
+                return usage(argv[0]);
         } else if (std::strcmp(arg, "--checkpoint-period") == 0) {
             if (!parseUnsigned(value(), n))
                 return usage(argv[0]);

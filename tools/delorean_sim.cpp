@@ -20,12 +20,21 @@
  *   --checkpoint-period N   system checkpoint every N global commits
  *   --archive-out FILE      write a segmented archive (.dla) too;
  *                           implies --checkpoint-period 50 if unset
+ *   --ring-out DIR          stream into a ring archive directory while
+ *                           recording (always-on recorder); implies
+ *                           --checkpoint-period 50 if unset
+ *   --ring-budget BYTES     ring disk budget (default 4 MiB)
+ *   --ring-lag T            replay-start lag bound in commits; must be
+ *                           >= 2x the checkpoint period (default 2x)
  *   --io-threads N   archive segment codec pool size
  *                    (default: DELOREAN_JOBS, else hw concurrency)
  *   --no-mmap        buffered archive reads instead of zero-copy mmap
  *
- * replay/inspect accept either a serialized recording or an archive
- * (detected by magic); an archive is reassembled via readAll().
+ * replay/inspect accept a serialized recording, an archive (detected
+ * by magic) or a ring directory (detected by ring.meta); containers
+ * are reassembled via readAll() — a ring must be cleanly closed with
+ * nothing evicted for that. Time-travel into a partial ring window
+ * lives in replay_check (--ring --at).
  * --io-threads/--no-mmap never change the bytes written or read —
  * container output is byte-identical at any setting.
  */
@@ -33,11 +42,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "core/delorean.hpp"
 #include "core/serialize.hpp"
 #include "store/archive.hpp"
+#include "store/ring.hpp"
 
 using namespace delorean;
 
@@ -58,6 +70,9 @@ struct Args
     unsigned stratify = 0;
     bool perturb = false;
     std::string archiveFile;
+    std::string ringDir;
+    std::uint64_t ringBudget = 0;
+    std::uint64_t ringLag = 0;
     std::uint64_t checkpointPeriod = 0;
     ArchiveIoOptions archiveIo;
 };
@@ -70,6 +85,8 @@ usage()
                  " [--chunk N] [--scale P] [--seed S] [--env S]"
                  " [--stratify N] [--checkpoint-period N]"
                  " [-o FILE] [--archive-out FILE]"
+                 " [--ring-out DIR [--ring-budget BYTES]"
+                 " [--ring-lag T]]"
                  " [--io-threads N]\n"
                  "       delorean_sim replay <FILE> [--env S] [--perturb]"
                  " [--io-threads N] [--no-mmap]\n"
@@ -137,6 +154,12 @@ parse(int argc, char **argv)
             args.file = next();
         else if (flag == "--archive-out")
             args.archiveFile = next();
+        else if (flag == "--ring-out")
+            args.ringDir = next();
+        else if (flag == "--ring-budget")
+            args.ringBudget = std::strtoull(next(), nullptr, 10);
+        else if (flag == "--ring-lag")
+            args.ringLag = std::strtoull(next(), nullptr, 10);
         else if (flag == "--checkpoint-period")
             args.checkpointPeriod = std::strtoull(next(), nullptr, 10);
         else if (flag == "--perturb")
@@ -183,13 +206,33 @@ cmdRecord(const Args &args)
     Workload workload(args.app, args.procs, args.seed,
                       WorkloadScale{args.scale});
     // Archiving needs checkpoints to cut segments at; default a
-    // period when the user asked for an archive but no cadence.
+    // period when the user asked for a container but no cadence.
     std::uint64_t period = args.checkpointPeriod;
-    if (!args.archiveFile.empty() && period == 0)
+    if ((!args.archiveFile.empty() || !args.ringDir.empty())
+        && period == 0)
         period = 50;
+
+    // The ring writer runs *during* the recording: its onCheckpoint
+    // feed cuts, compresses and evicts segments while the engine is
+    // still committing chunks. Infeasible knob combinations are
+    // rejected here, before any simulation work.
+    std::unique_ptr<RingArchiveWriter> ring;
+    if (!args.ringDir.empty()) {
+        RingOptions ropts;
+        if (args.ringBudget)
+            ropts.budgetBytes = args.ringBudget;
+        ropts.checkpointPeriod = period;
+        ropts.maxReplayLag = args.ringLag;
+        ropts.io = args.archiveIo;
+        ring = std::make_unique<RingArchiveWriter>(args.ringDir, ropts);
+    }
+    std::function<void(const Recording &)> hook;
+    if (ring)
+        hook = [&ring](const Recording &r) { ring->onCheckpoint(r); };
+
     Recorder recorder(modeFor(args), machine);
     const Recording rec =
-        recorder.record(workload, args.env, true, {}, period);
+        recorder.record(workload, args.env, true, {}, period, hook);
 
     std::printf("recorded %s in %s mode:\n", args.app.c_str(),
                 execModeName(rec.mode.mode));
@@ -213,13 +256,32 @@ cmdRecord(const Args &args)
                     args.archiveFile.c_str(),
                     rec.checkpoints.size() + 1);
     }
+    if (ring) {
+        ring->close(rec);
+        const RingWriterStats rs = ring->stats();
+        std::printf("  ring:             %s (%llu cut, %llu evicted, "
+                    "%llu live bytes, worst start lag %llu)\n",
+                    args.ringDir.c_str(),
+                    static_cast<unsigned long long>(rs.segmentsCut),
+                    static_cast<unsigned long long>(
+                        rs.segmentsEvicted),
+                    static_cast<unsigned long long>(rs.liveBytes),
+                    static_cast<unsigned long long>(rs.worstStartLag));
+    }
     return 0;
 }
 
-/** Loads either container: archive (by magic sniff) or recording. */
+/**
+ * Loads any container: ring directory (by ring.meta), archive (by
+ * magic sniff) or serialized recording. A ring must be cleanly closed
+ * with nothing evicted for readAll(); anything else raises the
+ * reader's typed error.
+ */
 Recording
 loadAny(const std::string &path, const ArchiveIoOptions &io)
 {
+    if (RingArchiveReader::looksLikeRing(path))
+        return RingArchiveReader::open(path, io).readAll();
     if (ArchiveReader::fileLooksLikeArchive(path))
         return ArchiveReader::fromFile(path, io).readAll();
     return loadRecordingFile(path);

@@ -10,6 +10,8 @@
  *                                               check (default: all)
  *   replay_check --fault-sweep <app> [<n>]      n mutants per mutation
  *                                               kind per mode (def. 40)
+ *   replay_check --ring <dir> [--at <cycle>]    time-travel into a ring
+ *                                               archive directory
  *
  * Modes: order-and-size | order-only | order-only-strat | picolog.
  * Exit status 0 = validated, 1 = divergence/violation found,
@@ -24,6 +26,15 @@
  * races are findings, not failures, so a deterministic replay that
  * surfaces races still exits 0. Interval replays (--from/--to) reject
  * the flag: the detector needs the complete commit history.
+ *
+ * `--ring <dir>` opens a ring archive directory — recovering the
+ * retained window even after a crash — and replays one checkpoint
+ * interval of it. `--at <cycle>` seeks to the newest retained
+ * checkpoint at or before that global commit count (the time-travel
+ * query: "show me what the machine was doing around cycle C");
+ * without it the replay starts at the oldest retained checkpoint.
+ * The interval is checked twice, serially and with a windowed replay
+ * arbiter (W=8), and the two fingerprints must agree.
  *
  * `--jobs <n>` (anywhere on the command line) sets the worker count
  * for every parallel path — differential fan-out and chunk-parallel
@@ -53,6 +64,7 @@
 #include "core/recorder.hpp"
 #include "core/serialize.hpp"
 #include "store/archive.hpp"
+#include "store/ring.hpp"
 #include "trace/app_profile.hpp"
 #include "trace/workload.hpp"
 #include "validate/differential.hpp"
@@ -102,6 +114,7 @@ usage()
         "       replay_check --list-checkpoints <file>\n"
         "       replay_check [--jobs <n>] --differential [<app>|all]\n"
         "       replay_check --fault-sweep <app> [<mutants-per-kind>]\n"
+        "       replay_check --ring <dir> [--at <cycle>]\n"
         "modes: order-and-size order-only order-only-strat picolog\n"
         "<file> may be a serialized recording (.dlr) or an archive\n"
         "(.dla, auto-detected by magic). --from/--to replay only the\n"
@@ -112,7 +125,10 @@ usage()
         "reads); neither changes what is read, only how fast.\n"
         "--detect-races runs the happens-before race detector during\n"
         "the checked replay and prints its report (full-run file\n"
-        "replays only; serial and parallel reports must match).\n");
+        "replays only; serial and parallel reports must match).\n"
+        "--ring opens a ring archive directory (crash-recovered) and\n"
+        "replays the checkpoint interval covering --at <cycle> (or\n"
+        "the oldest retained interval), serially and windowed.\n");
     return 2;
 }
 
@@ -216,6 +232,27 @@ int
 doListCheckpoints(const std::string &path)
 {
     try {
+        if (RingArchiveReader::looksLikeRing(path)) {
+            const RingArchiveReader ring =
+                RingArchiveReader::open(path, archive_io);
+            const RingRecoveryInfo &rc = ring.recovery();
+            std::printf("%s: ring, %s, %u procs, %zu segment(s), "
+                        "%zu checkpoint(s), %s%s\n",
+                        path.c_str(), ring.appName().c_str(),
+                        ring.machine().numProcs,
+                        ring.segments().size(),
+                        ring.checkpointCount(),
+                        rc.clean ? "cleanly closed" : "salvaged",
+                        rc.usedIndex ? ", index intact" : "");
+            for (const std::string &note : rc.notes)
+                std::printf("  salvage: %s\n", note.c_str());
+            const std::vector<std::uint64_t> gccs =
+                ring.checkpointGccs();
+            for (std::size_t i = 0; i < gccs.size(); ++i)
+                std::printf("  checkpoint %zu: gcc %llu\n", i,
+                            static_cast<unsigned long long>(gccs[i]));
+            return 0;
+        }
         if (ArchiveReader::fileLooksLikeArchive(path)) {
             const ArchiveReader reader = ArchiveReader::fromFile(path, archive_io);
             std::printf("%s: archive, %s, %u procs, %zu segment(s), "
@@ -346,6 +383,121 @@ doCheckInterval(const std::string &path, std::uint64_t from_gcc,
                 to_label.c_str(), rec.appName.c_str(), modeLabel(rec),
                 rec.machine.numProcs,
                 check.outcome.fingerprint.commits.size());
+    return 0;
+}
+
+/**
+ * Time travel (--ring [--at <cycle>]). Opens the ring directory —
+ * running crash recovery if the index is stale or the tail is torn —
+ * seeks to the newest retained checkpoint at or before @p at (oldest
+ * retained when absent) and replays forward to the next checkpoint
+ * (to the recording's end when the seek lands on the final checkpoint
+ * of a cleanly closed ring). The interval replay runs twice, with a
+ * serial and a W=8 windowed replay arbiter, and both fingerprints
+ * must reproduce the recorded execution.
+ */
+int
+doCheckRing(const std::string &path,
+            std::optional<std::uint64_t> at_cycle)
+{
+    Recording view;
+    ReplayCheckOptions opts;
+    // Deliberately forwarded: interval replays reject the detector
+    // with a structured report, exactly like --from does.
+    opts.detectRaces = detect_races;
+    std::uint64_t from_gcc = 0;
+    std::string to_label = "end";
+    try {
+        const RingArchiveReader ring =
+            RingArchiveReader::open(path, archive_io);
+        const RingRecoveryInfo &rc = ring.recovery();
+        std::printf("%s: ring %s, %zu segment(s) retained, "
+                    "window (%llu, %llu]\n",
+                    path.c_str(),
+                    rc.clean ? "cleanly closed" : "salvaged",
+                    ring.segments().size(),
+                    static_cast<unsigned long long>(ring.startGcc()),
+                    static_cast<unsigned long long>(ring.endGcc()));
+        for (const std::string &note : rc.notes)
+            std::printf("  salvage: %s\n", note.c_str());
+
+        if (ring.checkpointCount() == 0) {
+            // A clean checkpoint-free ring is one whole-run segment.
+            view = ring.readAll();
+        } else {
+            const std::size_t from =
+                at_cycle ? ring.newestCheckpointAtOrBefore(*at_cycle)
+                         : 0;
+            const std::vector<std::uint64_t> gccs =
+                ring.checkpointGccs();
+            std::size_t to = RingArchiveReader::kToEnd;
+            if (from + 1 < gccs.size()) {
+                to = from + 1;
+                to_label = std::to_string(gccs[to]);
+            } else if (!rc.clean) {
+                // The newest retained checkpoint on a crashed ring is
+                // the end of the salvaged window; nothing recorded
+                // beyond it survived to replay into.
+                std::printf("%s: seek landed on the newest retained "
+                            "checkpoint (gcc %llu) of a crashed ring; "
+                            "no interval to replay forward\n",
+                            path.c_str(),
+                            static_cast<unsigned long long>(
+                                gccs[from]));
+                return 1;
+            }
+            view = ring.readInterval(from, to);
+            from_gcc = gccs[from];
+            // readInterval puts the start checkpoint at index 0 and
+            // the stop (when bounded) at index 1.
+            opts.startCheckpoint = 0;
+            opts.stopCheckpoint = to != RingArchiveReader::kToEnd
+                                      ? 1
+                                      : ReplayCheckOptions::kFullRun;
+        }
+    } catch (const RecordingFormatError &e) {
+        std::printf("%s: rejected at load\n  %s\n", path.c_str(),
+                    e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "replay_check: %s: %s\n", path.c_str(),
+                     e.what());
+        return 2;
+    }
+
+    const ReplayCheckResult serial = checkedReplay(view, opts);
+    if (!serial.ok) {
+        std::printf("%s: %s\n%s\n", path.c_str(),
+                    divergenceKindName(serial.report.kind),
+                    serial.report.describe().c_str());
+        return 1;
+    }
+    ReplayCheckOptions wopts = opts;
+    wopts.replayWindow = 8;
+    const ReplayCheckResult windowed = checkedReplay(view, wopts);
+    const bool agree =
+        windowed.replayRan
+        && (view.stratified()
+                ? windowed.outcome.fingerprint.matchesPerProc(
+                      serial.outcome.fingerprint)
+                : windowed.outcome.fingerprint.matchesExact(
+                      serial.outcome.fingerprint));
+    if (!windowed.ok || !agree) {
+        std::printf("%s: serial replay deterministic but windowed "
+                    "(W=8) replay %s\n%s\n",
+                    path.c_str(),
+                    windowed.ok ? "differs from serial" : "diverged",
+                    windowed.report.describe().c_str());
+        return 1;
+    }
+    std::printf("%s: time-travel replay deterministic over "
+                "I(%llu, %s), serial == windowed (%s, %s, %u procs, "
+                "%zu commits replayed)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(from_gcc),
+                to_label.c_str(), view.appName.c_str(),
+                modeLabel(view), view.machine.numProcs,
+                serial.outcome.fingerprint.commits.size());
     return 0;
 }
 
@@ -571,7 +723,32 @@ main(int argc, char **argv)
     if (to_gcc && !from_gcc)
         return usage();
 
+    // --at <cycle>: the --ring time-travel seek target.
+    std::optional<std::uint64_t> at_cycle;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != "--at")
+            continue;
+        if (i + 1 >= args.size())
+            return usage();
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(args[i + 1].c_str(), &end, 10);
+        if (end == args[i + 1].c_str() || *end != '\0')
+            return usage();
+        at_cycle = v;
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                   args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        break;
+    }
+
     if (args.empty())
+        return usage();
+
+    if (args[0] == "--ring")
+        return args.size() == 2 && !from_gcc
+                   ? doCheckRing(args[1], at_cycle)
+                   : usage();
+    if (at_cycle)
         return usage();
 
     if (args[0] == "--list-checkpoints")
